@@ -1,0 +1,77 @@
+"""Experiment E7: Figure 3 — the expressiveness diagram, empirically.
+
+Each of the five programs is run against the three representation-class
+solvers; success must coincide with the paper's definability claims
+(Props. 1-12).  This is the "amount of solved tasks correlates with
+definability" experiment in miniature.
+"""
+
+import pytest
+
+from repro import solve
+from repro.solvers.elem import solve_elem
+from repro.solvers.sizeelem import solve_sizeelem
+from repro.theory.atlas import ATLAS, format_figure3
+
+from conftest import write_artifact
+
+TIMEOUTS = {"reg": 8.0, "elem": 8.0, "sizeelem": 12.0}
+
+
+@pytest.fixture(scope="module")
+def figure3_outcomes():
+    outcomes = {}
+    for name, entry in ATLAS.items():
+        outcomes[name] = {
+            "Reg": solve(entry.system_factory(), timeout=TIMEOUTS["reg"]).is_sat,
+            "Elem": solve_elem(
+                entry.system_factory(), timeout=TIMEOUTS["elem"]
+            ).is_sat,
+            "SizeElem": solve_sizeelem(
+                entry.system_factory(), timeout=TIMEOUTS["sizeelem"]
+            ).is_sat,
+        }
+    return outcomes
+
+
+def test_figure3_matches_paper(benchmark, figure3_outcomes):
+    benchmark.pedantic(format_figure3, rounds=1, iterations=1)
+    lines = [format_figure3(), "", "measured:"]
+    for name, entry in ATLAS.items():
+        measured = figure3_outcomes[name]
+        lines.append(f"  {name}: {measured}")
+        assert measured["Reg"] == entry.in_reg, name
+        assert measured["Elem"] == entry.in_elem, name
+        assert measured["SizeElem"] == entry.in_sizeelem, name
+    text = "\n".join(lines)
+    write_artifact("figure3.txt", text)
+    print("\n" + text)
+
+
+def test_bench_even_reg(benchmark):
+    from repro.problems import even_system
+
+    result = benchmark.pedantic(
+        lambda: solve(even_system(), timeout=10), rounds=3, iterations=1
+    )
+    assert result.is_sat
+
+
+def test_bench_ltgt_sizeelem(benchmark):
+    from repro.problems import ltgt_system
+
+    result = benchmark.pedantic(
+        lambda: solve_sizeelem(ltgt_system(), timeout=20),
+        rounds=2,
+        iterations=1,
+    )
+    assert result.is_sat
+
+
+def test_bench_diag_elem(benchmark):
+    from repro.problems import diag_system
+
+    result = benchmark.pedantic(
+        lambda: solve_elem(diag_system(), timeout=10), rounds=3, iterations=1
+    )
+    assert result.is_sat

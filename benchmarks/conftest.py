@@ -1,0 +1,66 @@
+"""Shared fixtures for the experiment benchmarks.
+
+The campaigns regenerating Table 1 / Figures 4-6 are expensive (hundreds
+of problems x five solvers), so they run once per session and are shared
+by every bench that needs them.  Scale is controlled by environment
+variables:
+
+* ``REPRO_BENCH_SCALE=quick`` (default): the full De Angelis suites (60
+  problems) and a deterministic 1-in-9 subsample of TIP (51 problems),
+  with a small per-run timeout.
+* ``REPRO_BENCH_SCALE=full``: all 514 problems — closer to the paper's
+  runs; expect tens of minutes.
+* ``REPRO_BENCH_TIMEOUT``: per-(problem, solver) timeout in seconds
+  (default 2.0 quick / 8.0 full; the paper used 300 s per problem).
+
+Campaign outputs (the rendered table and figure data) are written to
+``benchmarks/output/`` so the artifacts survive the run.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.benchgen import adtbench_suites, tip_suite
+from repro.harness import run_campaign
+
+OUTPUT_DIR = pathlib.Path(__file__).parent / "output"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def bench_timeout() -> float:
+    default = 2.0 if bench_scale() == "quick" else 8.0
+    return float(os.environ.get("REPRO_BENCH_TIMEOUT", default))
+
+
+def write_artifact(name: str, content: str) -> pathlib.Path:
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    path = OUTPUT_DIR / name
+    path.write_text(content)
+    return path
+
+
+@pytest.fixture(scope="session")
+def adtbench_campaign():
+    """Both De Angelis-style suites, all five solvers."""
+    suites = adtbench_suites()
+    return run_campaign(suites, timeout=bench_timeout()), {
+        s.name: len(s) for s in suites
+    }
+
+
+@pytest.fixture(scope="session")
+def tip_campaign():
+    """The TIP-style suite (subsampled in quick mode)."""
+    suite = tip_suite()
+    if bench_scale() == "quick":
+        suite.problems = suite.problems[::9]
+    return run_campaign([suite], timeout=bench_timeout()), {
+        "TIP": len(suite)
+    }

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Verify your own ADT-manipulating program, end to end.
+
+Shows the full user workflow on a fresh problem that is not in the paper:
+lists over {a, b} where every `a` is immediately followed by a `b`
+(a regular "protocol" property).  We
+
+ 1. declare the ADTs and write the CHCs through the library API,
+ 2. serialize them to SMT-LIB (the format RInGen consumed) and parse back,
+ 3. solve, inspect the automaton, and query the invariant,
+ 4. break the program and watch the counterexample derivation appear.
+
+Run:  python examples/custom_verification.py
+"""
+
+from repro import solve
+from repro.chc.clauses import BodyAtom, CHCSystem, Clause
+from repro.chc.parser import parse_chc
+from repro.chc.printer import print_system
+from repro.logic.adt import ADT, ADTSystem
+from repro.logic.formulas import TRUE
+from repro.logic.sorts import FuncSymbol, PredSymbol, Sort
+from repro.logic.terms import App, Term, Var
+
+SYM = Sort("Sym")
+WORD = Sort("Word")
+A = FuncSymbol("a", (), SYM)
+B = FuncSymbol("b", (), SYM)
+EPS = FuncSymbol("eps", (), WORD)
+SNOC = FuncSymbol("snoc", (SYM, WORD), WORD)
+
+
+def word(letters: str) -> Term:
+    out: Term = App(EPS)
+    for ch in reversed(letters):
+        out = App(SNOC, (App(A) if ch == "a" else App(B), out))
+    return out
+
+
+def protocol_system(broken: bool = False) -> CHCSystem:
+    """ok(w): every `a` in w is immediately followed (to the left) by `b`.
+
+    afterA(w) marks "the next symbol must be b".  The query asserts an ok
+    word never starts with a dangling `a`.
+    """
+    adts = ADTSystem([ADT(SYM, (A, B)), ADT(WORD, (EPS, SNOC))])
+    system = CHCSystem(adts, name="ab-protocol")
+    ok = PredSymbol("ok", (WORD,))
+    after_a = PredSymbol("afterA", (WORD,))
+    w = Var("w", WORD)
+    system.add(Clause(TRUE, (), BodyAtom(ok, (App(EPS),)), "ok-eps"))
+    system.add(
+        Clause(
+            TRUE,
+            (BodyAtom(ok, (w,)),),
+            BodyAtom(after_a, (App(SNOC, (App(A), w)),)),
+            "push-a",
+        )
+    )
+    system.add(
+        Clause(
+            TRUE,
+            (BodyAtom(after_a, (w,)),),
+            BodyAtom(ok, (App(SNOC, (App(B), w)),)),
+            "close-b",
+        )
+    )
+    if broken:
+        # bug: accept a dangling `a` on top of any ok word
+        system.add(
+            Clause(
+                TRUE,
+                (BodyAtom(ok, (w,)),),
+                BodyAtom(ok, (App(SNOC, (App(A), w)),)),
+                "buggy-dangling-a",
+            )
+        )
+    # an ok word never *is* a dangling-a word
+    system.add(
+        Clause(
+            TRUE,
+            (BodyAtom(ok, (w,)), BodyAtom(after_a, (w,))),
+            None,
+            "query",
+        )
+    )
+    return system
+
+
+def main() -> None:
+    system = protocol_system()
+    print("SMT-LIB rendering (parse/print round-trips):")
+    text = print_system(system)
+    print(text)
+    reparsed = parse_chc(text)
+
+    result = solve(reparsed, timeout=30)
+    print(f"verdict: {result.status}  model size "
+          f"{result.details.get('model_size')}")
+    model = result.invariant
+    ok = [p for p in model.automata if p.name == "ok"][0]
+    for letters in ("", "ba", "baba", "ab", "aa", "bb", "a"):
+        verdict = model.member(ok, (word(letters),))
+        print(f"    ok({letters or 'ε':>5}) = {verdict}")
+
+    print()
+    print("now the buggy variant (accept a dangling `a`):")
+    broken = solve(protocol_system(broken=True), timeout=30)
+    print(f"verdict: {broken.status}")
+    print("counterexample derivation:")
+    print(broken.refutation.format(indent=4))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""repro: a reproduction of "Beyond the Elementary Representations of
+Program Invariants over Algebraic Data Types" (PLDI 2021).
+
+The package implements the paper's full stack from scratch:
+
+* :mod:`repro.logic` — many-sorted FOL with ADTs and Herbrand universes,
+* :mod:`repro.chc` — constrained Horn clauses, SMT-LIB I/O, and the
+  Sec. 4 preprocessing (selector removal, equality elimination, the
+  ``diseq`` encoding),
+* :mod:`repro.sat` / :mod:`repro.mace` — a CDCL SAT solver and a
+  MACE-style finite model finder built on it,
+* :mod:`repro.automata` — deterministic finite tree automata with boolean
+  operations and the finite-model correspondence (Theorem 1),
+* :mod:`repro.core` — RInGen, the regular invariant generator,
+* :mod:`repro.solvers` — baseline solvers for the Elem and SizeElem
+  representation classes (Spacer / Eldarica proxies) and the induction
+  baseline,
+* :mod:`repro.theory` — pumping lemmas, linear sets and the
+  expressiveness atlas of Figure 3,
+* :mod:`repro.stlc` — the simply-typed lambda calculus case study of
+  Sec. 5,
+* :mod:`repro.benchgen` / :mod:`repro.harness` — benchmark suites and the
+  experiment harness regenerating Table 1 and Figures 3-6.
+
+Quick start::
+
+    from repro import solve
+    from repro.problems import even_system
+
+    result = solve(even_system())
+    print(result.status)                 # Status.SAT
+    print(result.invariant.describe())   # the regular invariant
+"""
+
+from repro.core.result import SolveResult, Status
+from repro.core.ringen import RInGen, RInGenConfig, solve
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "RInGen",
+    "RInGenConfig",
+    "SolveResult",
+    "Status",
+    "solve",
+    "__version__",
+]

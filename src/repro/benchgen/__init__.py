@@ -1,0 +1,20 @@
+"""Benchmark suites: the De Angelis-inspired 60 and the TIP-style 454."""
+
+from repro.benchgen.adtbench import (
+    adtbench_suites,
+    diseq_suite,
+    positiveeq_suite,
+)
+from repro.benchgen.suite import Problem, Suite
+from repro.benchgen.tip import TIP_SIZE, tip_statistics, tip_suite
+
+__all__ = [
+    "Problem",
+    "Suite",
+    "TIP_SIZE",
+    "adtbench_suites",
+    "diseq_suite",
+    "positiveeq_suite",
+    "tip_statistics",
+    "tip_suite",
+]

@@ -1,0 +1,56 @@
+"""Constrained Horn clauses over ADTs: IR, I/O, preprocessing, semantics."""
+
+from repro.chc.clauses import BodyAtom, CHCError, CHCSystem, Clause, clause
+from repro.chc.parser import ParseError, parse_chc, parse_sexprs, tokenize
+from repro.chc.printer import print_clause, print_system, print_term
+from repro.chc.semantics import (
+    ClauseViolation,
+    Derivation,
+    FixpointResult,
+    bounded_least_fixpoint,
+    check_model_bounded,
+    eval_constraint,
+)
+from repro.chc.transform import (
+    diseq_rules,
+    diseq_symbol,
+    encode_diseq,
+    has_disequalities,
+    is_constraint_free,
+    is_diseq_symbol,
+    normalize,
+    preprocess,
+    remove_selectors,
+    selector_func,
+)
+
+__all__ = [
+    "BodyAtom",
+    "CHCError",
+    "CHCSystem",
+    "Clause",
+    "ClauseViolation",
+    "Derivation",
+    "FixpointResult",
+    "ParseError",
+    "bounded_least_fixpoint",
+    "check_model_bounded",
+    "clause",
+    "diseq_rules",
+    "diseq_symbol",
+    "encode_diseq",
+    "eval_constraint",
+    "has_disequalities",
+    "is_constraint_free",
+    "is_diseq_symbol",
+    "normalize",
+    "parse_chc",
+    "parse_sexprs",
+    "preprocess",
+    "print_clause",
+    "print_system",
+    "print_term",
+    "remove_selectors",
+    "selector_func",
+    "tokenize",
+]

@@ -1,0 +1,542 @@
+"""Ground semantics of CHC systems: bounded least fixpoints and checking.
+
+CHC satisfiability is defined over expansions of the Herbrand structure
+(Sec. 3).  This module provides the executable fragment of that semantics:
+
+* ground evaluation of assertion-language constraints,
+* a bounded least-fixpoint engine (a datalog-with-terms saturation up to a
+  term-height budget) — the denotational semantics restricted to small
+  terms, used by the counterexample search, by baseline solvers and by the
+  independent verifier of regular models,
+* a bounded universal checker: does a candidate interpretation satisfy
+  every clause for all instantiations with terms up to a height bound?
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.chc.clauses import BodyAtom, CHCError, CHCSystem, Clause
+from repro.logic.adt import ADTSystem
+from repro.logic.formulas import (
+    And,
+    Eq,
+    Formula,
+    Not,
+    Or,
+    PredAtom,
+    Tester,
+    TRUE,
+)
+from repro.logic.sorts import PredSymbol
+from repro.logic.terms import (
+    Term,
+    Var,
+    height,
+    is_ground,
+    matches,
+    substitute,
+    variables,
+)
+
+GroundAtom = tuple[PredSymbol, tuple[Term, ...]]
+Interpretation = Callable[[PredSymbol, tuple[Term, ...]], bool]
+
+
+class SemanticsError(ValueError):
+    """Raised on non-ground evaluation or missing interpretations."""
+
+
+def eval_constraint(formula: Formula, adts: ADTSystem) -> bool:
+    """Evaluate a ground assertion-language constraint in ℋ.
+
+    Equality is structural equality of ground terms (the Herbrand
+    interpretation); testers check the top constructor.
+    """
+    if isinstance(formula, Eq):
+        if not (is_ground(formula.lhs) and is_ground(formula.rhs)):
+            raise SemanticsError(f"non-ground constraint {formula}")
+        return formula.lhs == formula.rhs
+    if isinstance(formula, Tester):
+        if not is_ground(formula.term):
+            raise SemanticsError(f"non-ground constraint {formula}")
+        return adts.test(formula.constructor.name, formula.term)
+    if isinstance(formula, Not):
+        return not eval_constraint(formula.operand, adts)
+    if isinstance(formula, And):
+        return all(eval_constraint(f, adts) for f in formula.operands)
+    if isinstance(formula, Or):
+        return any(eval_constraint(f, adts) for f in formula.operands)
+    raise SemanticsError(f"cannot evaluate {formula} as a constraint")
+
+
+@dataclass
+class Derivation:
+    """A proof tree witnessing a derived ground atom (or ⊥)."""
+
+    clause: Clause
+    conclusion: Optional[GroundAtom]
+    premises: tuple["Derivation", ...] = ()
+
+    def depth(self) -> int:
+        return 1 + max((p.depth() for p in self.premises), default=0)
+
+    def format(self, indent: int = 0) -> str:
+        head = (
+            "false"
+            if self.conclusion is None
+            else _format_atom(self.conclusion)
+        )
+        rule = self.clause.name or "<clause>"
+        lines = [" " * indent + f"{head}   [by {rule}]"]
+        for p in self.premises:
+            lines.append(p.format(indent + 2))
+        return "\n".join(lines)
+
+
+def _format_atom(atom: GroundAtom) -> str:
+    pred, args = atom
+    return f"{pred.name}({', '.join(str(a) for a in args)})"
+
+
+@dataclass
+class FixpointResult:
+    """Result of bounded saturation."""
+
+    facts: dict[PredSymbol, set[tuple[Term, ...]]]
+    refutation: Optional[Derivation]
+    saturated: bool
+    rounds: int = 0
+
+    def holds(self, pred: PredSymbol, args: tuple[Term, ...]) -> bool:
+        return args in self.facts.get(pred, set())
+
+    def fact_count(self) -> int:
+        return sum(len(v) for v in self.facts.values())
+
+
+def bounded_least_fixpoint(
+    system: CHCSystem,
+    *,
+    max_height: int = 4,
+    max_facts: int = 200_000,
+    check_queries: bool = True,
+    deadline: Optional[float] = None,
+    max_steps: int = 3_000_000,
+) -> FixpointResult:
+    """Saturate the definite clauses over terms of height ≤ ``max_height``.
+
+    Returns the set of derived ground facts and, if ``check_queries`` and a
+    query clause fires, a :class:`Derivation` of ⊥ — i.e. a genuine
+    counterexample proving the CHC system unsatisfiable (derivations are
+    sound regardless of the bound; the bound only limits completeness).
+
+    Resource guards: a wall-clock ``deadline``, a fact cap and a step cap
+    (substitution candidates examined) bound the saturation; hitting any of
+    them marks the result unsaturated.
+    """
+    import time as _time
+
+    adts = system.adts
+    budget = _StepBudget(deadline, max_steps)
+    facts: dict[PredSymbol, set[tuple[Term, ...]]] = {}
+    proofs: dict[GroundAtom, Derivation] = {}
+    for pred in system.predicates.values():
+        facts.setdefault(pred, set())
+
+    def add_fact(
+        pred: PredSymbol, args: tuple[Term, ...], proof: Derivation
+    ) -> bool:
+        bucket = facts.setdefault(pred, set())
+        if args in bucket:
+            return False
+        bucket.add(args)
+        proofs[(pred, args)] = proof
+        return True
+
+    rounds = 0
+    changed = True
+    saturated = True
+    while changed:
+        rounds += 1
+        changed = False
+        for cl in system.definite_clauses:
+            if any(a.universal_vars for a in cl.body):
+                # universal blocks can only be bounded-checked, which
+                # over-approximates truth and would make derived facts
+                # (and thus refutations built on them) unsound — skip
+                saturated = False
+                continue
+            head = cl.head
+            assert head is not None
+            for subst in _body_matches(
+                cl, facts, adts, max_height, budget=budget, head=head
+            ):
+                if budget.exhausted:
+                    return FixpointResult(facts, None, False, rounds)
+                args = tuple(substitute(t, subst) for t in head.args)
+                if any(not is_ground(a) for a in args):
+                    continue
+                if any(height(a) > max_height for a in args):
+                    saturated = False
+                    continue
+                premises = tuple(
+                    proofs[
+                        (
+                            a.pred,
+                            tuple(substitute(t, subst) for t in a.args),
+                        )
+                    ]
+                    for a in cl.body
+                    if not a.universal_vars
+                )
+                proof = Derivation(cl, (head.pred, args), premises)
+                if add_fact(head.pred, args, proof):
+                    changed = True
+                    if sum(len(v) for v in facts.values()) > max_facts:
+                        return FixpointResult(facts, None, False, rounds)
+    if budget.exhausted or budget.pruned:
+        saturated = False
+    refutation: Optional[Derivation] = None
+    if check_queries:
+        refutation = check_query_clauses(
+            system, facts, proofs, max_height, budget
+        )
+    return FixpointResult(facts, refutation, saturated, rounds)
+
+
+def check_query_clauses(
+    system: CHCSystem,
+    facts: dict[PredSymbol, set[tuple[Term, ...]]],
+    proofs: dict[GroundAtom, Derivation],
+    max_height: int,
+    budget: Optional["_StepBudget"] = None,
+) -> Optional[Derivation]:
+    """Check whether a query clause body is derivable from ``facts``."""
+    adts = system.adts
+    for cl in system.queries:
+        if any(a.universal_vars for a in cl.body):
+            # A universal block can only be *bounded-checked*, which is
+            # unsound for refutations (the block may fail beyond the
+            # bound).  Such queries never produce counterexamples here.
+            continue
+        for subst in _body_matches(cl, facts, adts, max_height, budget=budget):
+            premises = tuple(
+                proofs[
+                    (a.pred, tuple(substitute(t, subst) for t in a.args))
+                ]
+                for a in cl.body
+                if not a.universal_vars
+            )
+            return Derivation(cl, None, premises)
+    return None
+
+
+class _StepBudget:
+    """Shared wall-clock + step budget for one saturation run.
+
+    ``pruned`` records that some completion family was skipped by the
+    head-height cut — the saturation is then incomplete at this bound
+    even if no in-bound fact was missed directly.
+    """
+
+    __slots__ = ("deadline", "remaining", "exhausted", "pruned")
+
+    def __init__(self, deadline: Optional[float], max_steps: int):
+        self.deadline = deadline
+        self.remaining = max_steps
+        self.exhausted = False
+        self.pruned = False
+
+    def spend(self, amount: int = 1) -> bool:
+        """Consume budget; returns False once exhausted."""
+        if self.exhausted:
+            return False
+        self.remaining -= amount
+        if self.remaining <= 0:
+            self.exhausted = True
+            return False
+        if self.deadline is not None and self.remaining % 4096 == 0:
+            import time as _time
+
+            if _time.monotonic() > self.deadline:
+                self.exhausted = True
+                return False
+        return True
+
+
+def _head_can_fit(
+    head: Optional[BodyAtom],
+    subst: dict[Var, Term],
+    free: list[Var],
+    adts: ADTSystem,
+    max_height: int,
+) -> bool:
+    """Lower-bound the head's height under ``subst``; prune impossibilities.
+
+    Any completion of the unbound variables only raises term heights, so
+    if the head already exceeds the bound with unbound variables at their
+    minimum height, the whole completion family is skipped — this is what
+    keeps the ``diseq`` generator rules (whose heads wrap fresh variables
+    in constructors) from exploding the saturation.
+    """
+    if head is None:
+        return True
+    min_heights = {v: adts.min_height(v.sort) for v in free}
+
+    def lower(t: Term) -> int:
+        if isinstance(t, Var):
+            bound = subst.get(t)
+            if bound is not None:
+                return height(bound)
+            return min_heights.get(t, 1)
+        if not t.args:
+            return 1
+        return 1 + max(lower(a) for a in t.args)
+
+    return all(lower(t) <= max_height for t in head.args)
+
+
+def _body_matches(
+    cl: Clause,
+    facts: dict[PredSymbol, set[tuple[Term, ...]]],
+    adts: ADTSystem,
+    max_height: int,
+    budget: Optional[_StepBudget] = None,
+    head: Optional[BodyAtom] = None,
+) -> Iterator[dict[Var, Term]]:
+    """All substitutions making every body atom a derived fact and the
+    constraint true, with leftover variables enumerated up to the bound.
+
+    Universal-block body atoms (``forall``-in-body, Fig. 2) are checked by
+    enumerating their bound variables over the bounded universe; they never
+    *bind* outer variables, only filter.
+    """
+    plain = [a for a in cl.body if not a.universal_vars]
+    universal = [a for a in cl.body if a.universal_vars]
+    substs: list[dict[Var, Term]] = [{}]
+    # order atoms by predicate fact count to shrink intermediate joins
+    plain.sort(key=lambda a: len(facts.get(a.pred, ())))
+    for atom in plain:
+        bucket = facts.get(atom.pred, set())
+        new_substs: list[dict[Var, Term]] = []
+        for subst in substs:
+            pattern = tuple(substitute(t, subst) for t in atom.args)
+            for fact_args in bucket:
+                if budget is not None and not budget.spend():
+                    return
+                extension = _match_tuple(pattern, fact_args)
+                if extension is not None:
+                    merged = dict(subst)
+                    merged.update(extension)
+                    new_substs.append(merged)
+        substs = new_substs
+        if not substs:
+            return
+    for subst in substs:
+        free = _unbound_vars(cl, subst)
+        if not _head_can_fit(head, subst, free, adts, max_height):
+            if budget is not None:
+                budget.pruned = True
+            continue
+        for full in _enumerate_completions(free, subst, adts, max_height):
+            if budget is not None and not budget.spend():
+                return
+            if cl.constraint != TRUE and not eval_constraint(
+                _ground_constraint(cl.constraint, full), adts
+            ):
+                continue
+            if universal and not all(
+                _universal_atom_holds(a, full, facts, adts, max_height)
+                for a in universal
+            ):
+                continue
+            yield full
+
+
+def _ground_constraint(constraint: Formula, subst: dict[Var, Term]) -> Formula:
+    from repro.logic.formulas import substitute_formula
+
+    return substitute_formula(constraint, subst)
+
+
+def _match_tuple(
+    pattern: tuple[Term, ...], ground: tuple[Term, ...]
+) -> Optional[dict[Var, Term]]:
+    subst: dict[Var, Term] = {}
+    for p, g in zip(pattern, ground):
+        m = matches(p, g)
+        if m is None:
+            return None
+        for v, t in m.items():
+            if subst.get(v, t) != t:
+                return None
+            subst[v] = t
+    return subst
+
+
+def _unbound_vars(cl: Clause, subst: dict[Var, Term]) -> list[Var]:
+    return sorted(
+        (v for v in cl.free_vars() if v not in subst),
+        key=lambda v: v.name,
+    )
+
+
+def _enumerate_completions(
+    free: list[Var],
+    subst: dict[Var, Term],
+    adts: ADTSystem,
+    max_height: int,
+) -> Iterator[dict[Var, Term]]:
+    if not free:
+        yield subst
+        return
+    pools = [adts.terms_up_to_height(v.sort, max_height) for v in free]
+    for combo in itertools.product(*pools):
+        full = dict(subst)
+        full.update(zip(free, combo))
+        yield full
+
+
+def _universal_atom_holds(
+    atom: BodyAtom,
+    subst: dict[Var, Term],
+    facts: dict[PredSymbol, set[tuple[Term, ...]]],
+    adts: ADTSystem,
+    max_height: int,
+) -> bool:
+    """Bounded check of a ``forall``-block body atom.
+
+    Sound for *refutations only* up to the bound: we report the block as
+    holding if the atom is a fact for every instantiation of the bound
+    variables with terms up to the height budget.
+    """
+    bucket = facts.get(atom.pred, set())
+    pools = [
+        adts.terms_up_to_height(v.sort, max_height)
+        for v in atom.universal_vars
+    ]
+    for combo in itertools.product(*pools):
+        inner = dict(subst)
+        inner.update(zip(atom.universal_vars, combo))
+        args = tuple(substitute(t, inner) for t in atom.args)
+        if args not in bucket:
+            return False
+    return True
+
+
+# ----------------------------------------------------------------------
+# Bounded universal model checking of candidate interpretations
+# ----------------------------------------------------------------------
+@dataclass
+class ClauseViolation:
+    """A ground instantiation falsifying a clause under an interpretation."""
+
+    clause: Clause
+    assignment: dict[Var, Term]
+
+    def __str__(self) -> str:
+        binding = ", ".join(
+            f"{v.name} := {t}" for v, t in sorted(
+                self.assignment.items(), key=lambda kv: kv[0].name
+            )
+        )
+        return f"clause {self.clause} violated at [{binding}]"
+
+
+def check_model_bounded(
+    system: CHCSystem,
+    interpretation: Interpretation,
+    *,
+    max_height: int = 3,
+    universal_height: Optional[int] = None,
+    max_instances_per_clause: int = 200_000,
+) -> Optional[ClauseViolation]:
+    """Bounded validity check of ``interpretation`` against every clause.
+
+    Enumerates instantiations of clause variables with ground terms up to
+    ``max_height`` and reports the first violated instance, or ``None``
+    if all checked instances hold.  This is the independent verifier used
+    to cross-check regular models produced by the pipeline (sound up to the
+    bound; the exact check happens on the finite-model side).
+
+    When the full product of pools would exceed
+    ``max_instances_per_clause`` (many-variable clauses such as the STLC
+    VC), every pool is truncated to its smallest-height prefix so the
+    product fits — coverage shrinks but stays biased to small terms, where
+    violations of Theorem 5 would surface first.
+    """
+    adts = system.adts
+    if universal_height is None:
+        universal_height = max_height
+    for cl in system.clauses:
+        free = sorted(cl.free_vars(), key=lambda v: v.name)
+        pools = [adts.terms_up_to_height(v.sort, max_height) for v in free]
+        pools = _shrink_pools(pools, max_instances_per_clause)
+        for combo in itertools.product(*pools):
+            assignment = dict(zip(free, combo))
+            if not _clause_instance_holds(
+                cl, assignment, interpretation, adts, universal_height
+            ):
+                return ClauseViolation(cl, assignment)
+    return None
+
+
+def _shrink_pools(
+    pools: list[list[Term]], budget: int
+) -> list[list[Term]]:
+    """Truncate pools (smallest terms first) until their product fits."""
+    def product_size() -> int:
+        total = 1
+        for p in pools:
+            total *= max(len(p), 1)
+            if total > budget:
+                return total
+        return total
+
+    pools = [sorted(p, key=height) for p in pools]
+    while product_size() > budget:
+        largest = max(range(len(pools)), key=lambda i: len(pools[i]))
+        if len(pools[largest]) <= 1:
+            break
+        pools[largest] = pools[largest][: max(len(pools[largest]) // 2, 1)]
+    return pools
+
+
+def _clause_instance_holds(
+    cl: Clause,
+    assignment: dict[Var, Term],
+    interpretation: Interpretation,
+    adts: ADTSystem,
+    universal_height: int,
+) -> bool:
+    if cl.constraint != TRUE:
+        grounded = _ground_constraint(cl.constraint, assignment)
+        if not eval_constraint(grounded, adts):
+            return True
+    for atom in cl.body:
+        if atom.universal_vars:
+            pools = [
+                adts.terms_up_to_height(v.sort, universal_height)
+                for v in atom.universal_vars
+            ]
+            block_holds = True
+            for combo in itertools.product(*pools):
+                inner = dict(assignment)
+                inner.update(zip(atom.universal_vars, combo))
+                args = tuple(substitute(t, inner) for t in atom.args)
+                if not interpretation(atom.pred, args):
+                    block_holds = False
+                    break
+            if not block_holds:
+                return True
+        else:
+            args = tuple(substitute(t, assignment) for t in atom.args)
+            if not interpretation(atom.pred, args):
+                return True
+    if cl.head is None:
+        return False
+    args = tuple(substitute(t, assignment) for t in cl.head.args)
+    return interpretation(cl.head.pred, args)

@@ -1,0 +1,174 @@
+"""Clause unfolding: the transformation half of fold/unfold (De Angelis).
+
+The VeriMAP-iddt baseline the paper compares against eliminates ADTs by
+fold/unfold transformations; *unfolding* — resolving a body atom against
+the clauses defining its predicate — is also independently useful here:
+
+* it deepens the reach of the bounded counterexample search (one unfold
+  step doubles the derivation depth visible at a fixed term-height
+  budget),
+* it inlines non-recursive auxiliary predicates before model finding,
+  shrinking the EUF signature the finder must interpret.
+
+``unfold_atom`` performs a single resolution step; ``unfold_system``
+applies it bounded-everywhere; ``inline_nonrecursive`` eliminates
+predicates that are defined without (mutual) recursion and are not
+protected (e.g. not a query predicate).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Optional
+
+from repro.chc.clauses import BodyAtom, CHCError, CHCSystem, Clause
+from repro.logic.formulas import TRUE, conj
+from repro.logic.sorts import PredSymbol
+from repro.logic.terms import Var, unify
+
+
+def unfold_atom(
+    clause: Clause, index: int, system: CHCSystem
+) -> list[Clause]:
+    """Resolve the ``index``-th body atom against its defining clauses.
+
+    Returns one clause per defining clause whose head unifies with the
+    atom (non-unifiable definitions contribute nothing).  Universal-block
+    atoms cannot be unfolded.
+    """
+    if not 0 <= index < len(clause.body):
+        raise CHCError(f"no body atom at index {index}")
+    atom = clause.body[index]
+    if atom.universal_vars:
+        raise CHCError("cannot unfold a universal-block atom")
+    out: list[Clause] = []
+    for definition in system.clauses_defining(atom.pred):
+        taken = {v.name for v in clause.free_vars()}
+        fresh = definition
+        while fresh.free_vars() & clause.free_vars():
+            fresh = fresh.renamed("_u")
+        assert fresh.head is not None
+        subst = unify(list(zip(atom.args, fresh.head.args)))
+        if subst is None:
+            continue
+        resolved = Clause(
+            conj(
+                clause.constraint,
+                fresh.constraint,
+            ),
+            clause.body[:index] + fresh.body + clause.body[index + 1 :],
+            clause.head,
+            f"{clause.name}+{fresh.name}",
+        ).substituted(subst)
+        out.append(resolved)
+    return out
+
+
+def unfold_system(
+    system: CHCSystem,
+    *,
+    target: Optional[PredSymbol] = None,
+    max_clauses: int = 500,
+) -> CHCSystem:
+    """One synchronous unfolding pass.
+
+    Every body atom (of ``target``'s predicate if given, else every
+    predicate) of every clause is unfolded once; facts and clauses whose
+    bodies don't mention the target pass through unchanged.  The result
+    is equisatisfiable with the input (unfolding is a sound and complete
+    transformation for least-model semantics).
+    """
+    out = CHCSystem(system.adts, name=system.name)
+    for pred in system.predicates.values():
+        out.declare(pred)
+    for clause in system.clauses:
+        indices = [
+            i
+            for i, atom in enumerate(clause.body)
+            if not atom.universal_vars
+            and (target is None or atom.pred == target)
+        ]
+        if not indices:
+            out.add(clause)
+            continue
+        # unfold the first eligible atom only: a full pass is obtained by
+        # iterating unfold_system, which keeps the blowup observable
+        produced = unfold_atom(clause, indices[0], system)
+        for resolved in produced:
+            out.add(resolved)
+            if len(out.clauses) > max_clauses:
+                raise CHCError(
+                    "unfolding exceeded the clause budget; "
+                    "lower the number of passes"
+                )
+    return out
+
+
+def _is_recursive(pred: PredSymbol, system: CHCSystem) -> bool:
+    """Whether ``pred`` (mutually) depends on itself."""
+    reached: set[PredSymbol] = set()
+    frontier = [pred]
+    while frontier:
+        current = frontier.pop()
+        for clause in system.clauses_defining(current):
+            for atom in clause.body:
+                if atom.pred == pred:
+                    return True
+                if atom.pred not in reached:
+                    reached.add(atom.pred)
+                    frontier.append(atom.pred)
+    return False
+
+
+def inline_nonrecursive(
+    system: CHCSystem, *, keep: Iterable[PredSymbol] = ()
+) -> CHCSystem:
+    """Eliminate non-recursive predicates by exhaustive unfolding.
+
+    Predicates in ``keep`` (plus any predicate occurring in a query or a
+    universal block) survive.  The result has the same satisfiability and
+    the same least-model interpretations of the surviving predicates.
+    """
+    protected: set[PredSymbol] = set(keep)
+    for clause in system.clauses:
+        for atom in clause.body:
+            if atom.universal_vars:
+                protected.add(atom.pred)
+    current = system
+    changed = True
+    while changed:
+        changed = False
+        candidates = [
+            p
+            for p in current.predicates.values()
+            if p not in protected
+            and current.clauses_defining(p)
+            and not _is_recursive(p, current)
+            and any(
+                atom.pred == p
+                for cl in current.clauses
+                for atom in cl.body
+            )
+        ]
+        if not candidates:
+            break
+        target = candidates[0]
+        unfolded = unfold_system(current, target=target)
+        # drop the now-unreferenced definitions of the target
+        cleaned = CHCSystem(current.adts, name=current.name)
+        still_used = any(
+            atom.pred == target
+            for cl in unfolded.clauses
+            for atom in cl.body
+        )
+        for clause in unfolded.clauses:
+            if (
+                not still_used
+                and clause.head is not None
+                and clause.head.pred == target
+            ):
+                continue
+            cleaned.add(clause)
+        current = cleaned
+        changed = True
+    return current

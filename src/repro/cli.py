@@ -1,0 +1,96 @@
+"""Command-line interface: run solvers on SMT-LIB CHC files.
+
+Usage (mirrors how the original RInGen binary was driven):
+
+    python -m repro.cli problem.smt2                  # RInGen
+    python -m repro.cli --solver elem problem.smt2    # the Elem baseline
+    python -m repro.cli --timeout 60 --model problem.smt2
+
+Prints ``sat`` / ``unsat`` / ``unknown`` on the first line; with
+``--model`` the regular invariant (finite-model and automata views)
+follows, and with ``--cex`` the refutation derivation is printed for
+UNSAT answers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.chc.parser import ParseError, parse_chc
+from repro.core.ringen import RInGen, RInGenConfig
+from repro.solvers.elem import ElemConfig, ElemSolver
+from repro.solvers.induct import InductConfig, InductSolver
+from repro.solvers.sizeelem import SizeElemConfig, SizeElemSolver
+from repro.solvers.verimap import VeriMapConfig, VeriMapSolver
+
+SOLVERS = {
+    "ringen": lambda t: RInGen(RInGenConfig(timeout=t)),
+    "elem": lambda t: ElemSolver(ElemConfig(timeout=t)),
+    "sizeelem": lambda t: SizeElemSolver(SizeElemConfig(timeout=t)),
+    "cvc4-ind": lambda t: InductSolver(InductConfig(timeout=t)),
+    "verimap-iddt": lambda t: VeriMapSolver(VeriMapConfig(timeout=t)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regular invariant inference for CHCs over ADTs "
+        "(PLDI 2021 reproduction)",
+    )
+    parser.add_argument("file", help="SMT-LIB2 CHC problem ('-' for stdin)")
+    parser.add_argument(
+        "--solver",
+        choices=sorted(SOLVERS),
+        default="ringen",
+        help="which engine to run (default: ringen)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, help="seconds (default 60)"
+    )
+    parser.add_argument(
+        "--model",
+        action="store_true",
+        help="print the invariant on SAT answers",
+    )
+    parser.add_argument(
+        "--cex",
+        action="store_true",
+        help="print the refutation derivation on UNSAT answers",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.file == "-":
+        text = sys.stdin.read()
+    else:
+        try:
+            with open(args.file) as handle:
+                text = handle.read()
+        except OSError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    try:
+        system = parse_chc(text, name=args.file)
+    except ParseError as error:
+        print(f"parse error: {error}", file=sys.stderr)
+        return 2
+
+    solver = SOLVERS[args.solver](args.timeout)
+    result = solver.solve(system)
+    print(result.status.value)
+    if result.is_unknown and result.reason:
+        print(f"; {result.reason}")
+    if args.model and result.is_sat and result.invariant is not None:
+        print(result.invariant.describe())
+    if args.cex and result.is_unsat and result.refutation is not None:
+        print(result.refutation.format())
+    return 0 if not result.is_unknown else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

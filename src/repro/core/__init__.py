@@ -1,0 +1,20 @@
+"""RInGen core: the regular-invariant inference pipeline of Sec. 4."""
+
+from repro.core.cex import CexSearchResult, search_counterexample
+from repro.core.regular_model import RegularModel
+from repro.core.result import SolveResult, Status, sat, unknown, unsat
+from repro.core.ringen import RInGen, RInGenConfig, solve
+
+__all__ = [
+    "CexSearchResult",
+    "RInGen",
+    "RInGenConfig",
+    "RegularModel",
+    "SolveResult",
+    "Status",
+    "sat",
+    "search_counterexample",
+    "solve",
+    "unknown",
+    "unsat",
+]

@@ -1,0 +1,69 @@
+"""Counterexample search: deriving ⊥ from the clauses.
+
+A CHC system is unsatisfiable iff ⊥ is derivable in its least model.  We
+search bottom-up with an increasing term-height budget (iterative
+deepening over :func:`repro.chc.semantics.bounded_least_fixpoint`); any
+derivation found is a genuine refutation regardless of the budget, so this
+component is what lets RInGen "find counterexamples more efficiently than
+Eldarica" on the UNSAT portion of Table 1.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chc.clauses import CHCSystem
+from repro.chc.semantics import Derivation, bounded_least_fixpoint
+
+
+@dataclass
+class CexSearchResult:
+    """Outcome of an iterative-deepening refutation search."""
+
+    refutation: Optional[Derivation]
+    max_height_tried: int
+    elapsed: float
+
+    @property
+    def found(self) -> bool:
+        return self.refutation is not None
+
+
+def search_counterexample(
+    system: CHCSystem,
+    *,
+    start_height: int = 2,
+    max_height: int = 5,
+    max_facts: int = 100_000,
+    timeout: Optional[float] = None,
+) -> CexSearchResult:
+    """Iterative-deepening derivation search for ⊥.
+
+    The ``system`` should be preprocessed (constraint-free): derivations
+    through ``diseq`` atoms are sound because the diseq rules derive only
+    truly-unequal pairs (Lemma 3).
+    """
+    start = time.monotonic()
+    deadline = None if timeout is None else start + timeout
+    tried = 0
+    for h in range(start_height, max_height + 1):
+        if deadline is not None and time.monotonic() > deadline:
+            break
+        tried = h
+        result = bounded_least_fixpoint(
+            system,
+            max_height=h,
+            max_facts=max_facts,
+            deadline=deadline,
+        )
+        if result.refutation is not None:
+            return CexSearchResult(
+                result.refutation, tried, time.monotonic() - start
+            )
+        if result.saturated:
+            # the bounded universe is closed under all clauses: raising
+            # the height bound cannot add derivations
+            break
+    return CexSearchResult(None, tried, time.monotonic() - start)

@@ -1,0 +1,80 @@
+"""Result objects shared by every solver in the repo.
+
+All solvers (RInGen and the baselines) answer with a :class:`SolveResult`:
+``SAT`` carries an invariant witness (a regular model, an elementary
+formula assignment, or a size-constrained assignment depending on the
+solver's representation class), ``UNSAT`` carries a derivation of ⊥, and
+``UNKNOWN`` records why the solver gave up — mirroring how the paper's
+Table 1 counts SAT / UNSAT / timeouts per representation class.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.chc.semantics import Derivation
+
+
+class Status(enum.Enum):
+    """Solver verdicts."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class SolveResult:
+    """Outcome of one solver run on one CHC system."""
+
+    status: Status
+    solver: str = ""
+    problem: str = ""
+    elapsed: float = 0.0
+    invariant: Optional[Any] = None
+    refutation: Optional[Derivation] = None
+    reason: str = ""
+    details: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status is Status.SAT
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status is Status.UNSAT
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status is Status.UNKNOWN
+
+    def __str__(self) -> str:
+        base = f"{self.solver or 'solver'}: {self.status}"
+        if self.problem:
+            base = f"{self.problem}: {base}"
+        if self.reason and self.is_unknown:
+            base += f" ({self.reason})"
+        return base
+
+
+def sat(solver: str, invariant: Any, **details: Any) -> SolveResult:
+    return SolveResult(
+        Status.SAT, solver=solver, invariant=invariant, details=details
+    )
+
+
+def unsat(solver: str, refutation: Optional[Derivation], **details: Any) -> SolveResult:
+    return SolveResult(
+        Status.UNSAT, solver=solver, refutation=refutation, details=details
+    )
+
+
+def unknown(solver: str, reason: str, **details: Any) -> SolveResult:
+    return SolveResult(
+        Status.UNKNOWN, solver=solver, reason=reason, details=details
+    )

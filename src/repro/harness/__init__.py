@@ -1,0 +1,42 @@
+"""Experiment harness: multi-solver runs and Table 1 / Fig 4-6 rendering."""
+
+from repro.harness.runner import (
+    Campaign,
+    REPRESENTATION_ROW,
+    RunRecord,
+    SOLVER_ORDER,
+    make_solver,
+    run_campaign,
+    run_problem,
+)
+from repro.harness.report import campaign_report, markdown_table
+from repro.harness.tables import (
+    Table1Row,
+    figure4_data,
+    figure5_data,
+    figure6_data,
+    format_histogram,
+    format_scatter,
+    format_table1,
+    table1,
+)
+
+__all__ = [
+    "Campaign",
+    "campaign_report",
+    "markdown_table",
+    "REPRESENTATION_ROW",
+    "RunRecord",
+    "SOLVER_ORDER",
+    "Table1Row",
+    "figure4_data",
+    "figure5_data",
+    "figure6_data",
+    "format_histogram",
+    "format_scatter",
+    "format_table1",
+    "make_solver",
+    "run_campaign",
+    "run_problem",
+    "table1",
+]

@@ -1,0 +1,122 @@
+"""Markdown experiment report generation.
+
+Combines a campaign's Table 1 counts, scatter summaries and the model-size
+histogram into a single markdown document — the artifact a downstream
+user regenerates to compare their run against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.result import Status
+from repro.harness.runner import Campaign, REPRESENTATION_ROW, SOLVER_ORDER
+from repro.harness.tables import (
+    figure4_data,
+    figure5_data,
+    figure6_data,
+    table1,
+)
+
+
+def markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[str]]
+) -> str:
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def campaign_report(
+    campaign: Campaign,
+    suite_sizes: dict[str, int],
+    *,
+    title: str = "Experiment report",
+    solvers: Sequence[str] = SOLVER_ORDER,
+) -> str:
+    """Render the full report for one campaign."""
+    sections: list[str] = [f"# {title}", ""]
+    sections.append(
+        f"Per-run timeout: {campaign.timeout:.1f}s — "
+        f"{len(campaign.records)} runs total."
+    )
+    sections.append("")
+
+    # Table 1
+    sections.append("## Table 1 — correct answers per solver")
+    sections.append("")
+    headers = ["Problem Set", "#", "Answer"] + [
+        f"{s} ({REPRESENTATION_ROW.get(s, '-')})" for s in solvers
+    ]
+    rows = []
+    for row in table1(campaign, suite_sizes, solvers=solvers):
+        rows.append(
+            [row.suite, row.total, row.answer]
+            + [row.counts.get(s, 0) for s in solvers]
+        )
+    sections.append(markdown_table(headers, rows))
+    sections.append("")
+
+    # timing comparison
+    sections.append("## Figures 4/5 — timing vs RInGen")
+    sections.append("")
+    fig4 = figure4_data(campaign)
+    fig5 = figure5_data(campaign)
+    headers = ["competitor", "faster (all)", "slower (all)",
+               "faster (SAT)", "slower (SAT)"]
+    rows = []
+    for solver in solvers:
+        if solver == "ringen":
+            continue
+        all_points = fig4.get(solver, [])
+        sat_points = fig5.get(solver, [])
+        rows.append(
+            [
+                solver,
+                sum(1 for x, y, _ in all_points if x < y),
+                sum(1 for x, y, _ in all_points if x > y),
+                sum(1 for x, y, _ in sat_points if x < y),
+                sum(1 for x, y, _ in sat_points if x > y),
+            ]
+        )
+    sections.append(markdown_table(headers, rows))
+    sections.append("")
+
+    # model sizes
+    sections.append("## Figure 6 — finite model sizes")
+    sections.append("")
+    histogram = figure6_data(campaign)
+    if histogram:
+        rows = [
+            [size, count, "#" * count] for size, count in sorted(
+                histogram.items()
+            )
+        ]
+        sections.append(markdown_table(["size", "count", ""], rows))
+    else:
+        sections.append("_no models found_")
+    sections.append("")
+
+    # per-problem appendix: everything any solver answered
+    sections.append("## Appendix — solved problems")
+    sections.append("")
+    headers = ["problem", "solver", "answer", "time (s)"]
+    rows = []
+    for record in campaign.records:
+        if record.status is not Status.UNKNOWN and record.correct:
+            rows.append(
+                [
+                    f"{record.problem.suite}/{record.problem.name}",
+                    record.solver,
+                    record.status.value,
+                    f"{record.elapsed:.3f}",
+                ]
+            )
+    sections.append(markdown_table(headers, rows))
+    sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,230 @@
+"""Multi-solver experiment runner (the engine behind Table 1 and Figs 4-6).
+
+Runs every solver on every problem of a suite with per-run timeouts,
+records verdicts + wall times, checks each verdict against the problem's
+ground truth (a wrong SAT/UNSAT is counted as *incorrect* and excluded
+from the solved tallies, mirroring how solver competitions score), and
+aggregates into the paper's tables and figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.benchgen.suite import Problem, Suite
+from repro.core.result import SolveResult, Status
+from repro.core.ringen import RInGen, RInGenConfig
+from repro.solvers.elem import ElemConfig, ElemSolver
+from repro.solvers.induct import InductConfig, InductSolver
+from repro.solvers.sizeelem import SizeElemConfig, SizeElemSolver
+from repro.solvers.verimap import VeriMapConfig, VeriMapSolver
+
+SOLVER_ORDER = ["ringen", "eldarica", "spacer", "cvc4-ind", "verimap-iddt"]
+
+# Table 1's header row: the representation class of each solver.
+REPRESENTATION_ROW = {
+    "ringen": "Reg",
+    "eldarica": "SizeElem",
+    "spacer": "Elem",
+    "cvc4-ind": "-",
+    "verimap-iddt": "-",
+}
+
+
+def make_solver(name: str, timeout: float):
+    """Instantiate a solver under its Table 1 alias."""
+    if name == "ringen":
+        return RInGen(RInGenConfig(timeout=timeout))
+    if name == "eldarica":
+        return SizeElemSolver(SizeElemConfig(timeout=timeout))
+    if name == "spacer":
+        return ElemSolver(ElemConfig(timeout=timeout))
+    if name == "cvc4-ind":
+        return InductSolver(InductConfig(timeout=timeout))
+    if name == "verimap-iddt":
+        return VeriMapSolver(VeriMapConfig(timeout=timeout))
+    raise ValueError(f"unknown solver {name!r}")
+
+
+@dataclass
+class RunRecord:
+    """One (problem, solver) measurement."""
+
+    problem: Problem
+    solver: str
+    status: Status
+    elapsed: float
+    correct: bool
+    model_size: Optional[int] = None
+    reason: str = ""
+
+    @property
+    def solved(self) -> bool:
+        return self.correct and self.status is not Status.UNKNOWN
+
+
+@dataclass
+class Campaign:
+    """All measurements of one experiment run."""
+
+    records: list[RunRecord] = field(default_factory=list)
+    timeout: float = 1.0
+
+    def add(self, record: RunRecord) -> None:
+        self.records.append(record)
+
+    # -- selections ------------------------------------------------------
+    def for_solver(self, solver: str) -> list[RunRecord]:
+        return [r for r in self.records if r.solver == solver]
+
+    def for_suite(self, suite: str) -> list[RunRecord]:
+        return [r for r in self.records if r.problem.suite == suite]
+
+    def record(self, problem_name: str, solver: str) -> Optional[RunRecord]:
+        for r in self.records:
+            if r.problem.name == problem_name and r.solver == solver:
+                return r
+        return None
+
+    # -- Table 1 aggregation ----------------------------------------------
+    def count(self, suite: str, solver: str, status: Status) -> int:
+        return sum(
+            1
+            for r in self.records
+            if r.problem.suite == suite
+            and r.solver == solver
+            and r.status is status
+            and r.correct
+        )
+
+    def unique_count(
+        self, suite: str, solver: str, status: Status, others: Sequence[str]
+    ) -> int:
+        """Problems only this solver answered with ``status`` (correctly)."""
+        mine = {
+            r.problem.name
+            for r in self.records
+            if r.problem.suite == suite
+            and r.solver == solver
+            and r.status is status
+            and r.correct
+        }
+        for other in others:
+            if other == solver:
+                continue
+            mine -= {
+                r.problem.name
+                for r in self.records
+                if r.problem.suite == suite
+                and r.solver == other
+                and r.status is status
+                and r.correct
+            }
+        return len(mine)
+
+    # -- figure data --------------------------------------------------------
+    def scatter_points(
+        self, competitor: str, *, sat_only: bool = False
+    ) -> list[tuple[float, float, str]]:
+        """Figure 4/5 points: (ringen time, competitor time, problem).
+
+        Unsolved runs sit at the timeout value (the paper places timeouts
+        on the dashed boundary lines).
+        """
+        points = []
+        by_name: dict[str, dict[str, RunRecord]] = {}
+        for r in self.records:
+            by_name.setdefault(r.problem.name, {})[r.solver] = r
+        for name, runs in by_name.items():
+            mine = runs.get("ringen")
+            theirs = runs.get(competitor)
+            if mine is None or theirs is None:
+                continue
+            if sat_only and not (
+                (mine.solved and mine.status is Status.SAT)
+                or (theirs.solved and theirs.status is Status.SAT)
+            ):
+                continue
+            x = mine.elapsed if mine.solved else self.timeout
+            y = theirs.elapsed if theirs.solved else self.timeout
+            points.append((x, y, name))
+        return points
+
+    def model_size_histogram(self) -> dict[int, int]:
+        """Figure 6: distribution of finite-model sizes among SAT answers."""
+        histogram: dict[int, int] = {}
+        for r in self.records:
+            if (
+                r.solver == "ringen"
+                and r.status is Status.SAT
+                and r.correct
+                and r.model_size is not None
+            ):
+                histogram[r.model_size] = histogram.get(r.model_size, 0) + 1
+        return histogram
+
+
+def run_problem(
+    problem: Problem, solver_name: str, timeout: float
+) -> RunRecord:
+    """Run one solver on one problem and score the verdict."""
+    solver = make_solver(solver_name, timeout)
+    system = problem.build()
+    start = time.monotonic()
+    try:
+        result = solver.solve(system)
+    except Exception as error:  # solver crash counts as unknown
+        return RunRecord(
+            problem,
+            solver_name,
+            Status.UNKNOWN,
+            time.monotonic() - start,
+            True,
+            reason=f"crash: {error}",
+        )
+    elapsed = time.monotonic() - start
+    correct = (
+        result.status is Status.UNKNOWN
+        or result.status.value == problem.expected_status
+    )
+    model_size = None
+    if result.is_sat:
+        model_size = result.details.get("model_size")
+    return RunRecord(
+        problem,
+        solver_name,
+        result.status,
+        elapsed,
+        correct,
+        model_size,
+        result.reason,
+    )
+
+
+def run_campaign(
+    suites: Sequence[Suite],
+    *,
+    solvers: Optional[Sequence[str]] = None,
+    timeout: float = 1.0,
+    progress: Optional[Callable[[str], None]] = None,
+    problem_filter: Optional[Callable[[Problem], bool]] = None,
+) -> Campaign:
+    """Run the full (suite x solver) product."""
+    campaign = Campaign(timeout=timeout)
+    solvers = list(solvers or SOLVER_ORDER)
+    for suite in suites:
+        for problem in suite:
+            if problem_filter is not None and not problem_filter(problem):
+                continue
+            for solver_name in solvers:
+                record = run_problem(problem, solver_name, timeout)
+                campaign.add(record)
+                if progress is not None:
+                    progress(
+                        f"{problem.suite}/{problem.name} "
+                        f"{solver_name}: {record.status} "
+                        f"({record.elapsed:.2f}s)"
+                    )
+    return campaign

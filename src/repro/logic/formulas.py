@@ -1,0 +1,251 @@
+"""Quantifier-free constraint formulas of the assertion language.
+
+The assertion language of the paper (Sec. 3) has no predicate symbols other
+than per-sort equality, so CHC constraints are boolean combinations of
+equalities between terms.  We additionally carry tester atoms ``c?(t)``
+(Sec. 4.5 / Appendix B) because verification conditions arriving from
+front-ends may mention them before preprocessing removes them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.logic.sorts import FuncSymbol, PredSymbol
+from repro.logic.terms import Substitution, Term, Var, substitute, variables
+
+
+class FormulaError(ValueError):
+    """Raised on malformed formula construction."""
+
+
+@dataclass(frozen=True)
+class Eq:
+    """Equality atom ``lhs = rhs`` (sorts must agree)."""
+
+    lhs: Term
+    rhs: Term
+
+    def __post_init__(self) -> None:
+        if self.lhs.sort != self.rhs.sort:
+            raise FormulaError(
+                f"ill-sorted equality {self.lhs} = {self.rhs}"
+            )
+
+    def __str__(self) -> str:
+        return f"({self.lhs} = {self.rhs})"
+
+
+@dataclass(frozen=True)
+class Tester:
+    """Tester atom ``c?(term)`` — true iff the top constructor is ``c``."""
+
+    __test__ = False  # keep pytest from collecting this as a test class
+
+    constructor: FuncSymbol
+    term: Term
+
+    def __post_init__(self) -> None:
+        if self.term.sort != self.constructor.result_sort:
+            raise FormulaError(
+                f"tester {self.constructor.name}? applied to term of sort "
+                f"{self.term.sort}"
+            )
+
+    def __str__(self) -> str:
+        return f"{self.constructor.name}?({self.term})"
+
+
+@dataclass(frozen=True)
+class PredAtom:
+    """An application of an (uninterpreted) predicate symbol to terms."""
+
+    pred: PredSymbol
+    args: tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.args) != self.pred.arity:
+            raise FormulaError(
+                f"{self.pred.name} expects {self.pred.arity} args, "
+                f"got {len(self.args)}"
+            )
+        for expected, arg in zip(self.pred.arg_sorts, self.args):
+            if arg.sort != expected:
+                raise FormulaError(
+                    f"argument {arg} of {self.pred.name} has sort "
+                    f"{arg.sort}, expected {expected}"
+                )
+
+    def __str__(self) -> str:
+        return f"{self.pred.name}({', '.join(str(a) for a in self.args)})"
+
+
+@dataclass(frozen=True)
+class Not:
+    operand: "Formula"
+
+    def __str__(self) -> str:
+        return f"~{self.operand}"
+
+
+@dataclass(frozen=True)
+class And:
+    operands: tuple["Formula", ...]
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "true"
+        return "(" + " & ".join(str(f) for f in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or:
+    operands: tuple["Formula", ...]
+
+    def __str__(self) -> str:
+        if not self.operands:
+            return "false"
+        return "(" + " | ".join(str(f) for f in self.operands) + ")"
+
+
+Formula = Union[Eq, Tester, PredAtom, Not, And, Or]
+Atom = Union[Eq, Tester, PredAtom]
+
+TRUE: Formula = And(())
+FALSE: Formula = Or(())
+
+
+def conj(*formulas: Formula) -> Formula:
+    """N-ary conjunction, flattening nested ``And`` and dropping ``TRUE``."""
+    flat: list[Formula] = []
+    for f in formulas:
+        if isinstance(f, And):
+            flat.extend(f.operands)
+        elif f == FALSE:
+            return FALSE
+        else:
+            flat.append(f)
+    if len(flat) == 1:
+        return flat[0]
+    return And(tuple(flat))
+
+
+def disj(*formulas: Formula) -> Formula:
+    """N-ary disjunction, flattening nested ``Or`` and dropping ``FALSE``."""
+    flat: list[Formula] = []
+    for f in formulas:
+        if isinstance(f, Or):
+            flat.extend(f.operands)
+        elif f == TRUE:
+            return TRUE
+        else:
+            flat.append(f)
+    if len(flat) == 1:
+        return flat[0]
+    return Or(tuple(flat))
+
+
+def neg(formula: Formula) -> Formula:
+    """Negation with double-negation elimination."""
+    if isinstance(formula, Not):
+        return formula.operand
+    return Not(formula)
+
+
+def diseq(lhs: Term, rhs: Term) -> Formula:
+    """Disequality literal ``~(lhs = rhs)``."""
+    return Not(Eq(lhs, rhs))
+
+
+def formula_vars(formula: Formula) -> set[Var]:
+    """Free variables of a quantifier-free formula."""
+    out: set[Var] = set()
+    for atom in atoms(formula):
+        if isinstance(atom, Eq):
+            out |= variables(atom.lhs) | variables(atom.rhs)
+        elif isinstance(atom, Tester):
+            out |= variables(atom.term)
+        else:
+            for arg in atom.args:
+                out |= variables(arg)
+    return out
+
+
+def atoms(formula: Formula) -> Iterator[Atom]:
+    """All atoms of a formula, ignoring polarity."""
+    stack: list[Formula] = [formula]
+    while stack:
+        f = stack.pop()
+        if isinstance(f, (Eq, Tester, PredAtom)):
+            yield f
+        elif isinstance(f, Not):
+            stack.append(f.operand)
+        else:
+            stack.extend(f.operands)
+
+
+def substitute_formula(formula: Formula, subst: Substitution) -> Formula:
+    """Apply a term substitution throughout a formula."""
+    if isinstance(formula, Eq):
+        return Eq(substitute(formula.lhs, subst), substitute(formula.rhs, subst))
+    if isinstance(formula, Tester):
+        return Tester(formula.constructor, substitute(formula.term, subst))
+    if isinstance(formula, PredAtom):
+        return PredAtom(
+            formula.pred, tuple(substitute(a, subst) for a in formula.args)
+        )
+    if isinstance(formula, Not):
+        return Not(substitute_formula(formula.operand, subst))
+    if isinstance(formula, And):
+        return And(tuple(substitute_formula(f, subst) for f in formula.operands))
+    return Or(tuple(substitute_formula(f, subst) for f in formula.operands))
+
+
+def nnf(formula: Formula, *, negate: bool = False) -> Formula:
+    """Negation normal form: negations pushed onto atoms."""
+    if isinstance(formula, (Eq, Tester, PredAtom)):
+        return Not(formula) if negate else formula
+    if isinstance(formula, Not):
+        return nnf(formula.operand, negate=not negate)
+    if isinstance(formula, And):
+        parts = tuple(nnf(f, negate=negate) for f in formula.operands)
+        return Or(parts) if negate else And(parts)
+    parts = tuple(nnf(f, negate=negate) for f in formula.operands)
+    return And(parts) if negate else Or(parts)
+
+
+def dnf(formula: Formula) -> list[list[Formula]]:
+    """Disjunctive normal form as a list of conjuncts (lists of literals).
+
+    The input is first converted to NNF.  Used when splitting CHC
+    constraints into per-disjunct clauses (proof of Theorem 5).
+    """
+    return _dnf(nnf(formula))
+
+
+def _dnf(formula: Formula) -> list[list[Formula]]:
+    if isinstance(formula, (Eq, Tester, PredAtom, Not)):
+        return [[formula]]
+    if isinstance(formula, And):
+        cubes: list[list[Formula]] = [[]]
+        for operand in formula.operands:
+            expansion = _dnf(operand)
+            cubes = [cube + ext for cube in cubes for ext in expansion]
+        return cubes
+    result: list[list[Formula]] = []
+    for operand in formula.operands:
+        result.extend(_dnf(operand))
+    return result
+
+
+def literal_parts(literal: Formula) -> tuple[Atom, bool]:
+    """Split a literal into ``(atom, positive?)``."""
+    if isinstance(literal, Not):
+        inner = literal.operand
+        if not isinstance(inner, (Eq, Tester, PredAtom)):
+            raise FormulaError(f"not a literal: {literal}")
+        return inner, False
+    if not isinstance(literal, (Eq, Tester, PredAtom)):
+        raise FormulaError(f"not a literal: {literal}")
+    return literal, True

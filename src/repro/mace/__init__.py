@@ -1,0 +1,29 @@
+"""MACE-style finite model finder over the in-repo CDCL SAT solver."""
+
+from repro.mace.finder import (
+    FinderError,
+    FinderResult,
+    FinderStats,
+    FlatAtom,
+    FlatClause,
+    ModelFinder,
+    find_model,
+    flatten_clause,
+    size_vectors,
+)
+from repro.mace.model import FiniteModel, ModelError, validate_model
+
+__all__ = [
+    "FinderError",
+    "FinderResult",
+    "FinderStats",
+    "FiniteModel",
+    "FlatAtom",
+    "FlatClause",
+    "ModelError",
+    "ModelFinder",
+    "find_model",
+    "flatten_clause",
+    "size_vectors",
+    "validate_model",
+]

@@ -1,0 +1,420 @@
+"""MACE/Paradox-style finite model finding for constraint-free CHCs.
+
+The reduction of Sec. 4.2: a constraint-free CHC system read as EUF is
+satisfiable in a finite structure iff a propositional encoding over a fixed
+domain-size vector is satisfiable.  We search size vectors in order of
+total size (matching the model sizes reported in Figure 6), encode each
+candidate with
+
+* cell variables ``F[f, args, v]`` ("f(args) = v") with exactly-one-value
+  constraints (totality + functionality),
+* relation variables ``P[p, args]``,
+* one ground CNF clause per instantiation of each (flattened) CHC,
+* least-constant symmetry breaking on base constructors,
+
+and solve with the in-repo CDCL solver.  A SAT answer decodes into a
+:class:`~repro.mace.model.FiniteModel`; the caller then converts it to a
+tree automaton (Theorem 1) to obtain a regular Herbrand model (Theorem 5).
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence
+
+from repro.chc.clauses import BodyAtom, CHCSystem, Clause
+from repro.logic.formulas import TRUE
+from repro.logic.sorts import FuncSymbol, PredSymbol, Sort
+from repro.logic.terms import App, Term, Var
+from repro.mace.model import FiniteModel, validate_model
+from repro.sat.cnf import exactly_one
+from repro.sat.solver import CDCLSolver
+
+
+class FinderError(ValueError):
+    """Raised on inputs the finder cannot encode."""
+
+
+@dataclass
+class FlatAtom:
+    """A flattened atom ``P(x1, ..., xn)`` over variables only."""
+
+    pred: PredSymbol
+    vars: tuple[Var, ...]
+    universal_vars: tuple[Var, ...] = ()
+    # definitions local to the universal block: (func, arg vars, result var)
+    local_defs: tuple[tuple[FuncSymbol, tuple[Var, ...], Var], ...] = ()
+    local_vars: tuple[Var, ...] = ()
+
+
+@dataclass
+class FlatClause:
+    """A flattened clause: definitions + body atoms -> head atom / bottom."""
+
+    source: Clause
+    vars: tuple[Var, ...]
+    defs: tuple[tuple[FuncSymbol, tuple[Var, ...], Var], ...]
+    body: tuple[FlatAtom, ...]
+    head: Optional[FlatAtom]
+
+
+def flatten_clause(cl: Clause, counter: itertools.count) -> FlatClause:
+    """Flatten nested terms into chains of function-cell definitions.
+
+    Every non-variable subterm receives a fresh variable; shared subterms
+    share the variable.  Universal-block atoms get their own block-local
+    definitions so that the block's Tseitin encoding can quantify over the
+    intermediate values independently.
+    """
+    if cl.constraint != TRUE:
+        raise FinderError(
+            "model finder expects constraint-free clauses; preprocess first"
+        )
+    defs: dict[Term, Var] = {}
+    def_list: list[tuple[FuncSymbol, tuple[Var, ...], Var]] = []
+
+    def flatten_term(term: Term, sink: list, cache: dict) -> Var:
+        if isinstance(term, Var):
+            return term
+        cached = cache.get(term)
+        if cached is not None:
+            return cached
+        arg_vars = tuple(flatten_term(a, sink, cache) for a in term.args)
+        fresh = Var(f"fl!{next(counter)}", term.func.result_sort)
+        cache[term] = fresh
+        sink.append((term.func, arg_vars, fresh))
+        return fresh
+
+    def flatten_atom(atom: BodyAtom) -> FlatAtom:
+        if not atom.universal_vars:
+            arg_vars = tuple(
+                flatten_term(t, def_list, defs) for t in atom.args
+            )
+            return FlatAtom(atom.pred, arg_vars)
+        local_sink: list = []
+        local_cache: dict = {}
+        arg_vars = tuple(
+            flatten_term(t, local_sink, local_cache) for t in atom.args
+        )
+        local_vars = tuple(v for _, _, v in local_sink)
+        return FlatAtom(
+            atom.pred,
+            arg_vars,
+            atom.universal_vars,
+            tuple(local_sink),
+            local_vars,
+        )
+
+    body = tuple(flatten_atom(a) for a in cl.body)
+    head: Optional[FlatAtom] = None
+    if cl.head is not None:
+        head = flatten_atom(cl.head)
+    all_vars: set[Var] = set(cl.free_vars())
+    all_vars.update(v for _, _, v in def_list)
+    return FlatClause(
+        cl,
+        tuple(sorted(all_vars, key=lambda v: v.name)),
+        tuple(def_list),
+        body,
+        head,
+    )
+
+
+@dataclass
+class FinderStats:
+    """Search statistics across attempted size vectors."""
+
+    attempts: int = 0
+    sat_vars: int = 0
+    sat_clauses: int = 0
+    elapsed: float = 0.0
+    model_size: Optional[int] = None
+
+
+@dataclass
+class FinderResult:
+    """Outcome of the finite model search."""
+
+    model: Optional[FiniteModel]
+    stats: FinderStats
+
+    @property
+    def found(self) -> bool:
+        return self.model is not None
+
+
+def size_vectors(
+    sorts: Sequence[Sort], max_total: int, min_total: int = 0
+) -> Iterator[dict[Sort, int]]:
+    """All per-sort size assignments in order of increasing total size."""
+    n = len(sorts)
+    for total in range(max(n, min_total), max_total + 1):
+        for composition in _compositions(total, n):
+            yield dict(zip(sorts, composition))
+
+
+def _compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """Compositions of ``total`` into ``parts`` positive integers."""
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(1, total - parts + 2):
+        for rest in _compositions(total - first, parts - 1):
+            yield (first, *rest)
+
+
+class ModelFinder:
+    """Iterative-deepening finite model search for one CHC system."""
+
+    def __init__(
+        self,
+        system: CHCSystem,
+        *,
+        max_total_size: int = 12,
+        max_conflicts_per_size: Optional[int] = 200_000,
+        symmetry_breaking: bool = True,
+        deadline: Optional[float] = None,
+        min_total_size: int = 0,
+    ):
+        self.system = system
+        self.max_total_size = max_total_size
+        self.min_total_size = min_total_size
+        self.max_conflicts = max_conflicts_per_size
+        self.symmetry_breaking = symmetry_breaking
+        self.deadline = deadline
+        counter = itertools.count()
+        self.flat_clauses = [
+            flatten_clause(cl, counter) for cl in system.clauses
+        ]
+        self.functions = sorted(
+            system.adts.signature.functions.values(), key=lambda f: f.name
+        )
+        self.predicates = sorted(
+            system.predicates.values(), key=lambda p: p.name
+        )
+        self.sorts = sorted(system.adts.sorts, key=lambda s: s.name)
+
+    # ------------------------------------------------------------------
+    def search(self) -> FinderResult:
+        """Try size vectors in order of total size until a model appears."""
+        stats = FinderStats()
+        start = time.monotonic()
+        for sizes in size_vectors(
+            self.sorts, self.max_total_size, self.min_total_size
+        ):
+            if self.deadline is not None and time.monotonic() > self.deadline:
+                break
+            stats.attempts += 1
+            model = self._try_sizes(sizes, stats)
+            if model is not None:
+                stats.elapsed = time.monotonic() - start
+                stats.model_size = model.size()
+                return FinderResult(model, stats)
+        stats.elapsed = time.monotonic() - start
+        return FinderResult(None, stats)
+
+    # ------------------------------------------------------------------
+    def _try_sizes(
+        self, sizes: dict[Sort, int], stats: FinderStats
+    ) -> Optional[FiniteModel]:
+        solver = CDCLSolver()
+        func_vars: dict[tuple[FuncSymbol, tuple[int, ...], int], int] = {}
+        pred_vars: dict[tuple[PredSymbol, tuple[int, ...]], int] = {}
+
+        def fvar(f: FuncSymbol, args: tuple[int, ...], val: int) -> int:
+            key = (f, args, val)
+            var = func_vars.get(key)
+            if var is None:
+                var = solver.new_var()
+                func_vars[key] = var
+            return var
+
+        def pvar(p: PredSymbol, args: tuple[int, ...]) -> int:
+            key = (p, args)
+            var = pred_vars.get(key)
+            if var is None:
+                var = solver.new_var()
+                pred_vars[key] = var
+            return var
+
+        ok = True
+        # totality + functionality of every function cell
+        for f in self.functions:
+            pools = [range(sizes[s]) for s in f.arg_sorts]
+            codomain = range(sizes[f.result_sort])
+            for args in itertools.product(*pools):
+                cell = [fvar(f, args, v) for v in codomain]
+                for clause in exactly_one(cell):
+                    ok &= solver.add_clause(clause)
+        if self.symmetry_breaking:
+            ok &= self._break_symmetry(solver, sizes, fvar)
+        for flat in self.flat_clauses:
+            encoded = self._encode_clause(flat, sizes, solver, fvar, pvar)
+            if encoded is None:
+                return None  # deadline hit mid-encoding
+            ok &= encoded
+            if not ok:
+                break
+        if not ok:
+            return None
+        outcome = solver.solve(
+            max_conflicts=self.max_conflicts, deadline=self.deadline
+        )
+        stats.sat_vars = max(stats.sat_vars, solver.num_vars)
+        stats.sat_clauses = max(
+            stats.sat_clauses, len(solver.clauses)
+        )
+        if not outcome:
+            return None
+        assignment = solver.model()
+        return self._decode(sizes, func_vars, pred_vars, assignment)
+
+    # ------------------------------------------------------------------
+    def _break_symmetry(self, solver, sizes, fvar) -> bool:
+        """Least-number constraints on base constructors per sort.
+
+        The i-th constant (in name order) of a sort may only take values
+        ``0..i`` — a sound canonicity cut for constants (Claessen &
+        Sörensson's least-number heuristic restricted to constants).
+        """
+        ok = True
+        for sort in self.sorts:
+            constants = [
+                f
+                for f in self.functions
+                if f.result_sort == sort and f.arity == 0
+            ]
+            for i, c in enumerate(constants):
+                for v in range(i + 1, sizes[sort]):
+                    ok &= solver.add_clause([-fvar(c, (), v)])
+        return ok
+
+    # ------------------------------------------------------------------
+    def _encode_clause(
+        self, flat: FlatClause, sizes, solver, fvar, pvar
+    ) -> Optional[bool]:
+        """Ground one flattened clause over all variable assignments.
+
+        Returns ``None`` when the deadline expires mid-grounding.
+        """
+        ok = True
+        pools = [range(sizes[v.sort]) for v in flat.vars]
+        index = {v: i for i, v in enumerate(flat.vars)}
+        instances = 0
+        for combo in itertools.product(*pools):
+            instances += 1
+            if (
+                self.deadline is not None
+                and instances % 4096 == 0
+                and time.monotonic() > self.deadline
+            ):
+                return None
+
+            def val(v: Var) -> int:
+                return combo[index[v]]
+
+            literals: list[int] = []
+            consistent = True
+            for func, arg_vars, result in flat.defs:
+                args = tuple(val(a) for a in arg_vars)
+                literals.append(-fvar(func, args, val(result)))
+            for atom in flat.body:
+                if atom.universal_vars:
+                    lit = self._universal_block_lit(
+                        atom, combo, index, sizes, solver, fvar, pvar
+                    )
+                    literals.append(-lit)
+                else:
+                    args = tuple(val(v) for v in atom.vars)
+                    literals.append(-pvar(atom.pred, args))
+            if flat.head is not None:
+                args = tuple(val(v) for v in flat.head.vars)
+                literals.append(pvar(flat.head.pred, args))
+            if consistent:
+                ok &= solver.add_clause(literals)
+            if not ok:
+                return False
+        return ok
+
+    # ------------------------------------------------------------------
+    def _universal_block_lit(
+        self, atom: FlatAtom, combo, index, sizes, solver, fvar, pvar
+    ) -> int:
+        """Tseitin literal ``t`` with ``t <- block``.
+
+        ``t`` is implied by the truth of the whole universal block, so a
+        negated ``t`` in a ground clause soundly asserts the block fails.
+        For each instantiation of the block's universal variables and each
+        choice of block-local intermediate values, we add
+        ``defs /\\ P(args) -> t_inst`` and ``(/\\ t_inst) -> t``.
+        """
+        t = solver.new_var()
+        inst_lits: list[int] = []
+        upools = [range(sizes[v.sort]) for v in atom.universal_vars]
+        for ucombo in itertools.product(*upools):
+            t_inst = solver.new_var()
+            inst_lits.append(t_inst)
+            lpools = [range(sizes[v.sort]) for v in atom.local_vars]
+            lindex = {v: i for i, v in enumerate(atom.local_vars)}
+            uindex = {v: i for i, v in enumerate(atom.universal_vars)}
+
+            for lcombo in itertools.product(*lpools):
+
+                def val(v: Var) -> int:
+                    if v in lindex:
+                        return lcombo[lindex[v]]
+                    if v in uindex:
+                        return ucombo[uindex[v]]
+                    return combo[index[v]]
+
+                premise: list[int] = []
+                for func, arg_vars, result in atom.local_defs:
+                    args = tuple(val(a) for a in arg_vars)
+                    premise.append(fvar(func, args, val(result)))
+                args = tuple(val(v) for v in atom.vars)
+                premise.append(pvar(atom.pred, args))
+                solver.add_clause([-p for p in premise] + [t_inst])
+        solver.add_clause([-l for l in inst_lits] + [t])
+        return t
+
+    # ------------------------------------------------------------------
+    def _decode(
+        self, sizes, func_vars, pred_vars, assignment
+    ) -> FiniteModel:
+        functions: dict[FuncSymbol, dict[tuple[int, ...], int]] = {}
+        for (f, args, v), var in func_vars.items():
+            if assignment.get(var):
+                functions.setdefault(f, {})[args] = v
+        predicates: dict[PredSymbol, set[tuple[int, ...]]] = {
+            p: set() for p in self.predicates
+        }
+        for (p, args), var in pred_vars.items():
+            if assignment.get(var):
+                predicates[p].add(args)
+        model = FiniteModel(dict(sizes), functions, predicates)
+        validate_model(model)
+        return model
+
+
+def find_model(
+    system: CHCSystem,
+    *,
+    max_total_size: int = 12,
+    timeout: Optional[float] = None,
+    symmetry_breaking: bool = True,
+    max_conflicts_per_size: Optional[int] = 200_000,
+    min_total_size: int = 0,
+) -> FinderResult:
+    """Search for a finite model of a constraint-free CHC system."""
+    deadline = None if timeout is None else time.monotonic() + timeout
+    finder = ModelFinder(
+        system,
+        max_total_size=max_total_size,
+        max_conflicts_per_size=max_conflicts_per_size,
+        symmetry_breaking=symmetry_breaking,
+        deadline=deadline,
+        min_total_size=min_total_size,
+    )
+    return finder.search()

@@ -1,0 +1,29 @@
+"""From-scratch CDCL SAT solver and CNF utilities."""
+
+from repro.sat.cnf import (
+    at_most_one,
+    exactly_one,
+    from_dimacs,
+    implies,
+    to_dimacs,
+)
+from repro.sat.solver import (
+    CDCLSolver,
+    SatError,
+    SatStats,
+    brute_force_sat,
+    solve_cnf,
+)
+
+__all__ = [
+    "CDCLSolver",
+    "SatError",
+    "SatStats",
+    "at_most_one",
+    "brute_force_sat",
+    "exactly_one",
+    "from_dimacs",
+    "implies",
+    "solve_cnf",
+    "to_dimacs",
+]

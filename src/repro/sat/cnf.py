@@ -1,0 +1,71 @@
+"""CNF utilities: encodings and DIMACS I/O used by the model finder."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, TextIO
+
+from repro.sat.solver import SatError
+
+
+def at_most_one(literals: Sequence[int]) -> Iterator[list[int]]:
+    """Pairwise at-most-one encoding.
+
+    The model finder's cells (``f(a) = v`` for each value ``v``) are small
+    (domain sizes stay in single digits — Figure 6), so the quadratic
+    pairwise encoding beats commander/sequential encodings here.
+    """
+    for i in range(len(literals)):
+        for j in range(i + 1, len(literals)):
+            yield [-literals[i], -literals[j]]
+
+
+def exactly_one(literals: Sequence[int]) -> Iterator[list[int]]:
+    """Exactly-one: the at-least-one clause plus pairwise at-most-one."""
+    if not literals:
+        raise SatError("exactly_one of no literals is unsatisfiable")
+    yield list(literals)
+    yield from at_most_one(literals)
+
+
+def implies(premises: Sequence[int], conclusion: int) -> list[int]:
+    """The clause for ``premises -> conclusion``."""
+    return [-p for p in premises] + [conclusion]
+
+
+def to_dimacs(clauses: Sequence[Sequence[int]], num_vars: int) -> str:
+    """Render a clause set in DIMACS CNF format."""
+    lines = [f"p cnf {num_vars} {len(clauses)}"]
+    for clause in clauses:
+        lines.append(" ".join(str(l) for l in clause) + " 0")
+    return "\n".join(lines) + "\n"
+
+
+def from_dimacs(text: str) -> tuple[list[list[int]], int]:
+    """Parse DIMACS CNF; returns ``(clauses, num_vars)``."""
+    clauses: list[list[int]] = []
+    num_vars = 0
+    current: list[int] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise SatError(f"malformed problem line: {line!r}")
+            num_vars = int(parts[2])
+            continue
+        for tok in line.split():
+            lit = int(tok)
+            if lit == 0:
+                clauses.append(current)
+                current = []
+            else:
+                current.append(lit)
+    if current:
+        clauses.append(current)
+    for clause in clauses:
+        for lit in clause:
+            if abs(lit) > num_vars:
+                num_vars = abs(lit)
+    return clauses, num_vars

@@ -1,0 +1,400 @@
+"""A CDCL SAT solver.
+
+The finite model finder (:mod:`repro.mace`) reduces "does this EUF clause
+set have a model of domain size k?" to propositional satisfiability, in the
+style of MACE/Paradox — the same family of backends the paper runs behind
+RInGen.  This module implements the required SAT engine from scratch:
+
+* two-watched-literal unit propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style activity decision heuristic with phase saving,
+* Luby restarts and learned-clause garbage collection.
+
+Literals are encoded as nonzero integers (DIMACS convention): variable
+``v`` appears as ``+v`` / ``-v``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+UNASSIGNED = 0
+TRUE_VAL = 1
+FALSE_VAL = -1
+
+
+class SatError(ValueError):
+    """Raised on malformed CNF input (zero literals, unknown variables)."""
+
+
+@dataclass
+class SatStats:
+    """Counters reported by :meth:`CDCLSolver.solve`."""
+
+    decisions: int = 0
+    propagations: int = 0
+    conflicts: int = 0
+    restarts: int = 0
+    learned: int = 0
+
+
+def _luby(i: int) -> int:
+    """The Luby restart sequence 1 1 2 1 1 2 4 ... (1-indexed)."""
+    while True:
+        k = i.bit_length()
+        if i == (1 << k) - 1:
+            return 1 << (k - 1)
+        i = i - (1 << (k - 1)) + 1
+
+
+class CDCLSolver:
+    """Conflict-driven clause learning SAT solver."""
+
+    def __init__(self, num_vars: int = 0):
+        self.num_vars = 0
+        self.clauses: list[list[int]] = []
+        self.learned_clauses: list[list[int]] = []
+        self.stats = SatStats()
+        self._assign: list[int] = [UNASSIGNED]
+        self._level: list[int] = [0]
+        self._reason: list[Optional[list[int]]] = [None]
+        self._phase: list[bool] = [False]
+        self._activity: list[float] = [0.0]
+        self._watches: dict[int, list[list[int]]] = {}
+        self._trail: list[int] = []
+        self._trail_lim: list[int] = []
+        self._queue_head = 0
+        self._var_inc = 1.0
+        self._var_decay = 0.95
+        self._ok = True
+        if num_vars:
+            self.new_vars(num_vars)
+
+    # -- variable / clause management -------------------------------------
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self._assign.append(UNASSIGNED)
+        self._level.append(0)
+        self._reason.append(None)
+        self._phase.append(False)
+        self._activity.append(0.0)
+        self._watches[self.num_vars] = []
+        self._watches[-self.num_vars] = []
+        return self.num_vars
+
+    def new_vars(self, count: int) -> list[int]:
+        return [self.new_var() for _ in range(count)]
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False if the formula became trivially unsat."""
+        seen: set[int] = set()
+        clause: list[int] = []
+        for lit in literals:
+            if lit == 0:
+                raise SatError("literal 0 is not allowed")
+            var = abs(lit)
+            if var > self.num_vars:
+                raise SatError(f"unknown variable {var}")
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            clause.append(lit)
+        if not self._ok:
+            return False
+        if not clause:
+            self._ok = False
+            return False
+        # remove already-falsified literals at level 0, keep satisfied clauses
+        if any(self._value(l) == TRUE_VAL and self._level[abs(l)] == 0
+               for l in clause):
+            return True
+        clause = [
+            l
+            for l in clause
+            if not (
+                self._value(l) == FALSE_VAL and self._level[abs(l)] == 0
+            )
+        ]
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        self.clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def _watch(self, clause: list[int]) -> None:
+        self._watches[clause[0]].append(clause)
+        self._watches[clause[1]].append(clause)
+
+    # -- assignment helpers ------------------------------------------------
+    def _value(self, lit: int) -> int:
+        val = self._assign[abs(lit)]
+        if val == UNASSIGNED:
+            return UNASSIGNED
+        return val if lit > 0 else -val
+
+    def _enqueue(self, lit: int, reason: Optional[list[int]]) -> bool:
+        current = self._value(lit)
+        if current == TRUE_VAL:
+            return True
+        if current == FALSE_VAL:
+            return False
+        var = abs(lit)
+        self._assign[var] = TRUE_VAL if lit > 0 else FALSE_VAL
+        self._level[var] = len(self._trail_lim)
+        self._reason[var] = reason
+        self._phase[var] = lit > 0
+        self._trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[list[int]]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self._queue_head < len(self._trail):
+            lit = self._trail[self._queue_head]
+            self._queue_head += 1
+            self.stats.propagations += 1
+            falsified = -lit
+            watchers = self._watches[falsified]
+            new_watchers: list[list[int]] = []
+            conflict: Optional[list[int]] = None
+            for idx, clause in enumerate(watchers):
+                if conflict is not None:
+                    new_watchers.extend(watchers[idx:])
+                    break
+                if clause[0] == falsified:
+                    clause[0], clause[1] = clause[1], clause[0]
+                # clause[1] == falsified now (or clause was restructured)
+                first = clause[0]
+                if self._value(first) == TRUE_VAL:
+                    new_watchers.append(clause)
+                    continue
+                moved = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != FALSE_VAL:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self._watches[clause[1]].append(clause)
+                        moved = True
+                        break
+                if moved:
+                    continue
+                new_watchers.append(clause)
+                if not self._enqueue(first, clause):
+                    conflict = clause
+            self._watches[falsified] = new_watchers
+            if conflict is not None:
+                return conflict
+        return None
+
+    # -- conflict analysis ---------------------------------------------------
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
+        """First-UIP learning; returns (learned clause, backjump level)."""
+        learned: list[int] = [0]  # slot 0 holds the asserting literal
+        seen = [False] * (self.num_vars + 1)
+        counter = 0
+        trail_lit: Optional[int] = None
+        reason: Optional[list[int]] = conflict
+        index = len(self._trail)
+        current_level = len(self._trail_lim)
+        while True:
+            assert reason is not None
+            for q in reason:
+                if trail_lit is not None and q == trail_lit:
+                    continue  # skip the literal this reason clause asserted
+                var = abs(q)
+                if not seen[var] and self._level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self._level[var] >= current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            while True:
+                index -= 1
+                trail_lit = self._trail[index]
+                if seen[abs(trail_lit)]:
+                    break
+            seen[abs(trail_lit)] = False
+            counter -= 1
+            if counter == 0:
+                break
+            reason = self._reason[abs(trail_lit)]
+        learned[0] = -trail_lit
+        # compute backjump level: max level among learned[1:]
+        if len(learned) == 1:
+            back_level = 0
+        else:
+            back_level = max(self._level[abs(q)] for q in learned[1:])
+        # move a literal of back_level to slot 1 for watching
+        if len(learned) > 1:
+            best = max(
+                range(1, len(learned)),
+                key=lambda i: self._level[abs(learned[i])],
+            )
+            learned[1], learned[best] = learned[best], learned[1]
+        return learned, back_level
+
+    def _bump(self, var: int) -> None:
+        self._activity[var] += self._var_inc
+        if self._activity[var] > 1e100:
+            for v in range(1, self.num_vars + 1):
+                self._activity[v] *= 1e-100
+            self._var_inc *= 1e-100
+
+    def _decay(self) -> None:
+        self._var_inc /= self._var_decay
+
+    def _backtrack(self, level: int) -> None:
+        if len(self._trail_lim) <= level:
+            return
+        limit = self._trail_lim[level]
+        for lit in reversed(self._trail[limit:]):
+            var = abs(lit)
+            self._assign[var] = UNASSIGNED
+            self._reason[var] = None
+        del self._trail[limit:]
+        del self._trail_lim[level:]
+        self._queue_head = len(self._trail)
+
+    def _decide(self) -> Optional[int]:
+        best_var = 0
+        best_act = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self._assign[var] == UNASSIGNED and self._activity[var] > best_act:
+                best_var = var
+                best_act = self._activity[var]
+        if best_var == 0:
+            return None
+        return best_var if self._phase[best_var] else -best_var
+
+    # -- main loop -------------------------------------------------------------
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        *,
+        max_conflicts: Optional[int] = None,
+        deadline: Optional[float] = None,
+    ) -> Optional[bool]:
+        """Solve under assumptions.
+
+        Returns True (sat), False (unsat), or None if ``max_conflicts`` or
+        the wall-clock ``deadline`` was exhausted (both are used by the
+        model finder's per-size budgets).
+        """
+        if not self._ok:
+            return False
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return False
+        for lit in assumptions:
+            if self._value(lit) == FALSE_VAL:
+                return False
+            if self._value(lit) == UNASSIGNED:
+                self._trail_lim.append(len(self._trail))
+                self._enqueue(lit, None)
+                conflict = self._propagate()
+                if conflict is not None:
+                    self._backtrack(0)
+                    return False
+        base_level = len(self._trail_lim)
+        restart_count = 0
+        conflicts_here = 0
+        steps = 0
+        budget = 100 * _luby(restart_count + 1)
+        while True:
+            steps += 1
+            if deadline is not None and steps % 512 == 0:
+                if time.monotonic() > deadline:
+                    self._backtrack(0)
+                    return None
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats.conflicts += 1
+                conflicts_here += 1
+                if max_conflicts is not None and self.stats.conflicts > max_conflicts:
+                    self._backtrack(0)
+                    return None
+                if len(self._trail_lim) == base_level:
+                    return False
+                learned, back_level = self._analyze(conflict)
+                self._backtrack(max(back_level, base_level))
+                if len(learned) == 1:
+                    self._backtrack(base_level)
+                    if not self._enqueue(learned[0], None):
+                        return False
+                else:
+                    self.learned_clauses.append(learned)
+                    self.stats.learned += 1
+                    self._watch(learned)
+                    self._enqueue(learned[0], learned)
+                self._decay()
+                if conflicts_here >= budget:
+                    self.stats.restarts += 1
+                    restart_count += 1
+                    conflicts_here = 0
+                    budget = 100 * _luby(restart_count + 1)
+                    self._backtrack(base_level)
+                continue
+            decision = self._decide()
+            if decision is None:
+                return True
+            self.stats.decisions += 1
+            self._trail_lim.append(len(self._trail))
+            self._enqueue(decision, None)
+
+    def model(self) -> dict[int, bool]:
+        """The satisfying assignment after a successful :meth:`solve`."""
+        return {
+            v: self._assign[v] == TRUE_VAL
+            for v in range(1, self.num_vars + 1)
+            if self._assign[v] != UNASSIGNED
+        }
+
+
+def solve_cnf(
+    clauses: Iterable[Iterable[int]], num_vars: int
+) -> Optional[dict[int, bool]]:
+    """One-shot convenience API: solve a CNF, return a model or ``None``."""
+    solver = CDCLSolver(num_vars)
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            return None
+    result = solver.solve()
+    if not result:
+        return None
+    model = solver.model()
+    for v in range(1, num_vars + 1):
+        model.setdefault(v, False)
+    return model
+
+
+def brute_force_sat(
+    clauses: Sequence[Sequence[int]], num_vars: int
+) -> Optional[dict[int, bool]]:
+    """Reference solver by exhaustive enumeration (tests only)."""
+    for bits in itertools.product((False, True), repeat=num_vars):
+        assignment = {v: bits[v - 1] for v in range(1, num_vars + 1)}
+        if all(
+            any(
+                assignment[abs(l)] == (l > 0)
+                for l in clause
+            )
+            for clause in clauses
+        ):
+            return assignment
+    return None

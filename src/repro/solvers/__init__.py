@@ -1,0 +1,66 @@
+"""Baseline solvers: one per invariant representation class of Table 1.
+
+* :class:`ElemSolver` — elementary invariants (Z3/Spacer's class),
+* :class:`SizeElemSolver` — elementary + size constraints (Eldarica's),
+* :class:`InductSolver` — inductive refutation only (CVC4-Ind),
+* :class:`VeriMapSolver` — ADT-eliminating transformation (VeriMAP-iddt),
+
+plus the registry used by the experiment harness.  RInGen itself lives in
+:mod:`repro.core`.
+"""
+
+from repro.core.ringen import RInGen
+from repro.solvers.elem import (
+    ElemConfig,
+    ElemFormula,
+    ElemInvariant,
+    ElemSolver,
+    solve_elem,
+)
+from repro.solvers.induct import InductConfig, InductSolver, solve_induct
+from repro.solvers.sizeelem import (
+    SizeElemConfig,
+    SizeElemInvariant,
+    SizeElemSolver,
+    SizeTemplate,
+    solve_sizeelem,
+)
+from repro.solvers.verimap import VeriMapConfig, VeriMapSolver, solve_verimap
+
+SOLVER_CLASSES = {
+    "ringen": RInGen,
+    "elem": ElemSolver,
+    "sizeelem": SizeElemSolver,
+    "cvc4-ind": InductSolver,
+    "verimap-iddt": VeriMapSolver,
+}
+
+# Table 1's header: which invariant representation each solver stands for.
+REPRESENTATION = {
+    "ringen": "Reg",
+    "sizeelem": "SizeElem",
+    "elem": "Elem",
+    "cvc4-ind": "-",
+    "verimap-iddt": "-",
+}
+
+__all__ = [
+    "ElemConfig",
+    "ElemFormula",
+    "ElemInvariant",
+    "ElemSolver",
+    "InductConfig",
+    "InductSolver",
+    "REPRESENTATION",
+    "SOLVER_CLASSES",
+    "SizeElemConfig",
+    "SizeElemInvariant",
+    "SizeElemSolver",
+    "SizeTemplate",
+    "VeriMapConfig",
+    "VeriMapSolver",
+    "solve_elem",
+    "solve_induct",
+    "solve_sizeelem",
+    "solve_verimap",
+]

@@ -1,0 +1,127 @@
+"""Decision procedures for Elem-definability of regular Nat languages.
+
+The paper's Sec. 2 recalls Enderton's classical fact: the first-order
+language of the ``Nat`` datatype (successor arithmetic) defines exactly
+the **finite and cofinite** sets, and Sec. 6.2 closes with the remark
+that the Elem pumping lemma specializes on ``Nat`` to exactly that
+characterization: *"every definable set L is either finite or cofinite."*
+
+Since Peano numerals are in bijection with ℕ, a regular 1-dimensional
+``Nat`` language is an eventually-periodic set of naturals; it is finite
+or cofinite iff its eventual period collapses to all-out or all-in.  That
+turns Elem-definability of regular Nat invariants into a *decision
+procedure* over the automaton:
+
+* :func:`nat_language_profile` — the eventually-periodic presentation
+  (prefix bits + period bits) read off the automaton's ``S``-orbit,
+* :func:`is_finite_language` / :func:`is_cofinite_language`,
+* :func:`is_elem_definable_nat` — finite or cofinite,
+* :func:`elem_defining_formula` — a human-readable first-order definition
+  when one exists (a disjunction of equalities, possibly negated).
+
+The atlas ties this back to the paper: Even's automaton is neither finite
+nor cofinite (hence Prop. 1), while the invariant RInGen finds for a
+``x = c`` style property is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.automata.dfta import DFTA, AutomatonError
+from repro.logic.adt import NAT
+from repro.logic.sorts import Sort
+
+
+@dataclass(frozen=True)
+class NatLanguageProfile:
+    """An eventually periodic subset of ℕ.
+
+    Membership of ``n``: ``prefix[n]`` when ``n < len(prefix)``, else
+    ``period[(n - len(prefix)) % len(period)]``.
+    """
+
+    prefix: tuple[bool, ...]
+    period: tuple[bool, ...]
+
+    def member(self, n: int) -> bool:
+        if n < len(self.prefix):
+            return self.prefix[n]
+        return self.period[(n - len(self.prefix)) % len(self.period)]
+
+    @property
+    def eventually_empty(self) -> bool:
+        return not any(self.period)
+
+    @property
+    def eventually_full(self) -> bool:
+        return all(self.period)
+
+
+def nat_language_profile(auto: DFTA, *, sort: Sort = NAT) -> NatLanguageProfile:
+    """Read the eventually-periodic presentation off the automaton.
+
+    Follow the ``S``-orbit from the state of ``Z``: since the state space
+    is finite the orbit enters a cycle; the pre-cycle part is the prefix,
+    the cycle the period.
+    """
+    if auto.dimension != 1 or auto.final_sorts[0] != sort:
+        raise AutomatonError("expects a 1-automaton over Nat")
+    state = auto.transitions.get(("Z", ()))
+    if state is None:
+        return NatLanguageProfile((), (False,))
+    finals = {q for (q,) in auto.finals}
+    seen: dict[int, int] = {}
+    bits: list[bool] = []
+    current: Optional[int] = state
+    position = 0
+    while current is not None and current not in seen:
+        seen[current] = position
+        bits.append(current in finals)
+        current = auto.transitions.get(("S", (current,)))
+        position += 1
+    if current is None:
+        # the orbit dies: everything beyond is rejected (sink)
+        return NatLanguageProfile(tuple(bits), (False,))
+    start = seen[current]
+    return NatLanguageProfile(tuple(bits[:start]), tuple(bits[start:]))
+
+
+def is_finite_language(auto: DFTA) -> bool:
+    """Whether the accepted Nat language is finite."""
+    return nat_language_profile(auto).eventually_empty
+
+
+def is_cofinite_language(auto: DFTA) -> bool:
+    """Whether the accepted Nat language is cofinite."""
+    return nat_language_profile(auto).eventually_full
+
+
+def is_elem_definable_nat(auto: DFTA) -> bool:
+    """Enderton / Sec. 2: definable in successor arithmetic iff the
+    language is finite or cofinite."""
+    profile = nat_language_profile(auto)
+    return profile.eventually_empty or profile.eventually_full
+
+
+def elem_defining_formula(auto: DFTA, *, var: str = "x") -> Optional[str]:
+    """A first-order definition (rendered) when one exists, else ``None``.
+
+    Finite languages become disjunctions of equalities ``x = S^k(Z)``;
+    cofinite ones the negated disjunction over the complement.
+    """
+    profile = nat_language_profile(auto)
+    horizon = len(profile.prefix) + len(profile.period)
+    if profile.eventually_empty:
+        members = [n for n in range(horizon) if profile.member(n)]
+        if not members:
+            return "false"
+        return " | ".join(f"{var} = S^{n}(Z)" for n in members)
+    if profile.eventually_full:
+        non_members = [n for n in range(horizon) if not profile.member(n)]
+        if not non_members:
+            return "true"
+        inner = " | ".join(f"{var} = S^{n}(Z)" for n in non_members)
+        return f"~({inner})"
+    return None

@@ -1,0 +1,160 @@
+"""The Elem normal form of Definition 6, as executable formulas.
+
+A normal-form formula is a DNF whose atoms are testers ``c?(s(x))``, path
+equalities ``s(x) = s'(y)`` and ground equalities ``s(x) = g`` with
+*guarded* selector semantics (an undefined path makes the atom false —
+selectors in the paper's normal form are always guarded by testers, and
+guarding is exactly what the undefined-is-false convention implements).
+
+These classes are shared by the Elem baseline solver (its candidate
+language) and by the pumping machinery of :mod:`repro.theory.pumping`
+(Lemma 8 pumps normal-form cubes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.logic.adt import ADTSystem
+from repro.logic.terms import Term, height
+from repro.theory.paths import Path, PathError, apply_path
+
+
+# ----------------------------------------------------------------------
+# Candidate atoms (Definition 6 normal-form shapes)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PathTesterAtom:
+    """``c?(s(x_arg))`` — guarded: undefined path evaluates to false."""
+
+    arg: int
+    path: Path
+    constructor: str
+
+    def eval(self, args: Sequence[Term], adts: ADTSystem) -> bool:
+        try:
+            sub = apply_path(self.path, args[self.arg], adts)
+        except PathError:
+            return False
+        return adts.test(self.constructor, sub)
+
+    def __str__(self) -> str:
+        inner = f"x{self.arg}" if self.path.is_empty else f"{self.path}(x{self.arg})"
+        return f"{self.constructor}?({inner})"
+
+    def complexity(self) -> int:
+        return 1 + len(self.path)
+
+
+@dataclass(frozen=True)
+class PathEqAtom:
+    """``s(x_i) = s'(x_j)`` — guarded on both sides."""
+
+    left_arg: int
+    left_path: Path
+    right_arg: int
+    right_path: Path
+
+    def eval(self, args: Sequence[Term], adts: ADTSystem) -> bool:
+        try:
+            lhs = apply_path(self.left_path, args[self.left_arg], adts)
+            rhs = apply_path(self.right_path, args[self.right_arg], adts)
+        except PathError:
+            return False
+        return lhs == rhs
+
+    def __str__(self) -> str:
+        left = (
+            f"x{self.left_arg}"
+            if self.left_path.is_empty
+            else f"{self.left_path}(x{self.left_arg})"
+        )
+        right = (
+            f"x{self.right_arg}"
+            if self.right_path.is_empty
+            else f"{self.right_path}(x{self.right_arg})"
+        )
+        return f"{left} = {right}"
+
+    def complexity(self) -> int:
+        return 1 + len(self.left_path) + len(self.right_path)
+
+
+@dataclass(frozen=True)
+class GroundEqAtom:
+    """``s(x_i) = g`` for a small ground term ``g``."""
+
+    arg: int
+    path: Path
+    ground: Term
+
+    def eval(self, args: Sequence[Term], adts: ADTSystem) -> bool:
+        try:
+            sub = apply_path(self.path, args[self.arg], adts)
+        except PathError:
+            return False
+        return sub == self.ground
+
+    def __str__(self) -> str:
+        inner = f"x{self.arg}" if self.path.is_empty else f"{self.path}(x{self.arg})"
+        return f"{inner} = {self.ground}"
+
+    def complexity(self) -> int:
+        return 1 + len(self.path) + height(self.ground)
+
+
+Atom = object  # any of the three atom classes above
+
+
+@dataclass(frozen=True)
+class Literal:
+    atom: Atom
+    positive: bool
+
+    def eval(self, args: Sequence[Term], adts: ADTSystem) -> bool:
+        value = self.atom.eval(args, adts)  # type: ignore[attr-defined]
+        return value if self.positive else not value
+
+    def __str__(self) -> str:
+        return str(self.atom) if self.positive else f"~({self.atom})"
+
+    def complexity(self) -> int:
+        return self.atom.complexity() + (0 if self.positive else 1)  # type: ignore[attr-defined]
+
+
+@dataclass(frozen=True)
+class ElemFormula:
+    """A candidate in DNF: a tuple of cubes (tuples of literals).
+
+    The empty DNF is ``false``; an empty cube is ``true``.
+    """
+
+    cubes: tuple[tuple[Literal, ...], ...]
+
+    def eval(self, args: Sequence[Term], adts: ADTSystem) -> bool:
+        return any(
+            all(lit.eval(args, adts) for lit in cube) for cube in self.cubes
+        )
+
+    def __str__(self) -> str:
+        if not self.cubes:
+            return "false"
+        rendered = []
+        for cube in self.cubes:
+            if not cube:
+                rendered.append("true")
+            else:
+                rendered.append(" & ".join(str(l) for l in cube))
+        return " | ".join(f"({c})" for c in rendered)
+
+    def complexity(self) -> int:
+        return sum(
+            1 + sum(l.complexity() for l in cube) for cube in self.cubes
+        )
+
+
+ELEM_TRUE = ElemFormula(((),))
+ELEM_FALSE = ElemFormula(())
+
+

@@ -1,0 +1,205 @@
+"""Tests for the benchmark generators: population structure + ground truth."""
+
+import pytest
+
+from repro.benchgen import (
+    TIP_SIZE,
+    adtbench_suites,
+    diseq_suite,
+    positiveeq_suite,
+    tip_statistics,
+    tip_suite,
+)
+from repro.benchgen.builders import (
+    broken_mod_system,
+    diag_variant_system,
+    functionality_query_system,
+    list_alternating_system,
+    mirror_system,
+    nat_mod_system,
+    offset_pair_system,
+    ordering_system,
+    revacc_system,
+    tree_branch_parity_system,
+)
+from repro.chc.semantics import bounded_least_fixpoint
+from repro.chc.transform import is_constraint_free, preprocess
+
+
+class TestSuiteShapes:
+    def test_positiveeq_has_35(self):
+        assert len(positiveeq_suite()) == 35
+
+    def test_diseq_has_25(self):
+        assert len(diseq_suite()) == 25
+
+    def test_tip_has_454(self):
+        assert len(tip_suite()) == TIP_SIZE == 454
+
+    def test_tip_statistics(self):
+        stats = tip_statistics(tip_suite())
+        assert stats["total"] == 454
+        assert stats["unsat"] == 42
+        assert stats["ordering"] == 26
+
+    def test_unique_names(self):
+        for suite in (*adtbench_suites(), tip_suite()):
+            names = [p.name for p in suite]
+            assert len(set(names)) == len(names), suite.name
+
+    def test_positiveeq_really_has_no_disequalities(self):
+        from repro.chc.transform import has_disequalities
+
+        for problem in positiveeq_suite():
+            assert not has_disequalities(problem.build()), problem.name
+
+    def test_diseq_problems_have_disequalities(self):
+        from repro.chc.transform import has_disequalities
+
+        with_diseq = [
+            p for p in diseq_suite() if has_disequalities(p.build())
+        ]
+        assert len(with_diseq) >= 20
+
+    def test_every_problem_preprocesses(self):
+        for suite in adtbench_suites():
+            for problem in suite:
+                prepared = preprocess(problem.build())
+                assert is_constraint_free(prepared), problem.name
+
+    def test_tip_sample_preprocesses(self):
+        suite = tip_suite()
+        for problem in suite.problems[::23]:
+            prepared = preprocess(problem.build())
+            assert is_constraint_free(prepared), problem.name
+
+
+class TestGroundTruth:
+    """Spot-check expected statuses with the bounded semantics."""
+
+    def test_sat_problems_have_no_shallow_refutation(self):
+        for suite in adtbench_suites():
+            for problem in suite.sat_problems()[:10]:
+                prepared = preprocess(problem.build())
+                result = bounded_least_fixpoint(
+                    prepared, max_height=3, max_facts=20_000
+                )
+                assert result.refutation is None, problem.name
+
+    def test_unsat_problems_are_refutable(self):
+        for suite in adtbench_suites():
+            for problem in suite.unsat_problems():
+                prepared = preprocess(problem.build())
+                result = bounded_least_fixpoint(
+                    prepared, max_height=4, max_facts=50_000
+                )
+                assert result.refutation is not None, problem.name
+
+    def test_tip_broken_problems_are_refutable_at_their_depth(self):
+        suite = tip_suite()
+        shallow = [
+            p for p in suite.unsat_problems()
+            if "mod2-d1" in p.name or "mod3-d1" in p.name
+            or p.name == "tip-broken-list-1"
+        ]
+        assert len(shallow) >= 10
+        for problem in shallow:
+            prepared = preprocess(problem.build())
+            result = bounded_least_fixpoint(
+                prepared, max_height=4, max_facts=50_000
+            )
+            assert result.refutation is not None, problem.name
+
+    def test_tip_deep_broken_problems_need_depth(self):
+        suite = tip_suite()
+        deep = [
+            p for p in suite.unsat_problems() if "mod7-d2" in p.name
+        ]
+        assert deep
+        prepared = preprocess(deep[0].build())
+        result = bounded_least_fixpoint(
+            prepared, max_height=4, max_facts=50_000
+        )
+        assert result.refutation is None
+
+
+class TestBuilders:
+    def test_nat_mod_safe_iff_not_divisible(self):
+        # clash divisible by modulus -> the query fires: UNSAT
+        system = nat_mod_system(2, 0, 2)
+        prepared = preprocess(system)
+        result = bounded_least_fixpoint(prepared, max_height=5)
+        assert result.refutation is not None
+        # non-divisible clash: safe
+        system = nat_mod_system(2, 0, 1)
+        prepared = preprocess(system)
+        result = bounded_least_fixpoint(prepared, max_height=5)
+        assert result.refutation is None
+
+    def test_broken_mod_depth_controls_refutation_height(self):
+        shallow = preprocess(broken_mod_system(2, 1))
+        deep = preprocess(broken_mod_system(2, 4))
+        assert bounded_least_fixpoint(
+            shallow, max_height=4
+        ).refutation is not None
+        assert bounded_least_fixpoint(
+            deep, max_height=4
+        ).refutation is None  # needs height 9
+
+    def test_alternating_list_is_regularly_solvable(self):
+        from repro import solve
+
+        result = solve(list_alternating_system(), timeout=15)
+        assert result.is_sat
+
+    def test_tree_parity_is_regularly_solvable(self):
+        from repro import solve
+
+        result = solve(tree_branch_parity_system(left=True), timeout=15)
+        assert result.is_sat
+
+    def test_offset_pair_elem_solvable(self):
+        from repro.solvers.elem import solve_elem
+
+        result = solve_elem(offset_pair_system(1, 2), timeout=15)
+        assert result.is_sat
+
+    def test_ordering_sizeelem_solvable(self):
+        from repro.solvers.sizeelem import solve_sizeelem
+
+        result = solve_sizeelem(ordering_system(strict=True), timeout=20)
+        assert result.is_sat
+
+    def test_mirror_is_safe(self):
+        prepared = preprocess(mirror_system(0))
+        result = bounded_least_fixpoint(
+            prepared, max_height=3, max_facts=30_000
+        )
+        assert result.refutation is None
+
+    def test_revacc_is_safe(self):
+        prepared = preprocess(revacc_system(0))
+        result = bounded_least_fixpoint(
+            prepared, max_height=3, max_facts=30_000
+        )
+        assert result.refutation is None
+
+    def test_functionality_is_safe(self):
+        for kind in ("add", "dbl"):
+            prepared = preprocess(functionality_query_system(kind))
+            result = bounded_least_fixpoint(
+                prepared, max_height=3, max_facts=30_000
+            )
+            assert result.refutation is None, kind
+
+    def test_diag_variants_elem_solvable(self):
+        from repro.solvers.elem import solve_elem
+
+        result = solve_elem(diag_variant_system("nat"), timeout=15)
+        assert result.is_sat
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            diag_variant_system("bogus")
+        with pytest.raises(ValueError):
+            functionality_query_system("bogus")

@@ -1,0 +1,142 @@
+"""Tests for linear/semilinear sets and expanding sorts (Sec. 6.3, App. B.2)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.adt import (
+    NAT,
+    NATLIST,
+    TREE,
+    nat_system,
+    natlist_system,
+    tree_system,
+)
+from repro.theory.linsets import (
+    LinSetError,
+    LinearSet,
+    SemilinearSet,
+    intersect_infinite_linear,
+    is_expanding_signature,
+    is_expanding_sort,
+    max_fin,
+    size_image_semilinear,
+)
+
+
+class TestLinearSet:
+    def test_finite_singleton(self):
+        s = LinearSet(5)
+        assert 5 in s
+        assert 4 not in s
+        assert not s.is_infinite
+
+    def test_single_period(self):
+        s = LinearSet(1, (2,))
+        assert s.members(10) == [1, 3, 5, 7, 9]
+
+    def test_two_periods_coin_problem(self):
+        s = LinearSet(0, (3, 5))
+        # Chicken McNugget: 3 and 5 generate everything except 1,2,4,7
+        members = set(s.members(20))
+        assert members == set(range(21)) - {1, 2, 4, 7}
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(LinSetError):
+            LinearSet(-1)
+        with pytest.raises(LinSetError):
+            LinearSet(0, (0,))
+
+    def test_iter_members(self):
+        s = LinearSet(2, (3,))
+        it = s.iter_members()
+        assert [next(it) for _ in range(4)] == [2, 5, 8, 11]
+
+    def test_str(self):
+        assert str(LinearSet(5)) == "{5}"
+        assert "k*2" in str(LinearSet(1, (2,)))
+
+
+class TestLemma10:
+    def test_intersection_of_parities(self):
+        evens = LinearSet(0, (2,))
+        mult3 = LinearSet(0, (3,))
+        inter = intersect_infinite_linear(evens, mult3)
+        assert inter is not None
+        assert inter.is_infinite
+        # every member divisible by 6
+        for m in inter.members(40):
+            assert m % 6 == 0
+
+    def test_empty_intersection(self):
+        odds = LinearSet(1, (2,))
+        evens = LinearSet(0, (2,))
+        assert intersect_infinite_linear(odds, evens) is None
+
+    def test_finite_operand_rejected(self):
+        with pytest.raises(LinSetError):
+            intersect_infinite_linear(LinearSet(1), LinearSet(0, (2,)))
+
+    @given(
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=1, max_value=5),
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=60)
+    def test_intersection_is_subset_of_both(self, b1, p1, b2, p2):
+        a = LinearSet(b1, (p1,))
+        b = LinearSet(b2, (p2,))
+        inter = intersect_infinite_linear(a, b)
+        if inter is not None:
+            for m in inter.members(60):
+                assert m in a and m in b
+
+
+class TestSemilinear:
+    def test_union_membership(self):
+        s = SemilinearSet((LinearSet(1), LinearSet(4, (3,))))
+        assert 1 in s
+        assert 4 in s and 7 in s
+        assert 2 not in s
+
+    def test_members_merged_sorted(self):
+        s = SemilinearSet((LinearSet(2), LinearSet(1, (4,))))
+        assert s.members(10) == [1, 2, 5, 9]
+
+    def test_max_fin(self):
+        parts = (LinearSet(7), LinearSet(0, (2,)), LinearSet(3))
+        assert max_fin(parts) == 7
+        assert max_fin((LinearSet(0, (2,)),)) == 0
+
+
+class TestSizeImage:
+    def test_nat_sizes_are_all_positives(self):
+        image = size_image_semilinear(nat_system(), NAT)
+        assert image.members(12) == list(range(1, 13))
+
+    def test_tree_sizes_are_odd(self):
+        image = size_image_semilinear(tree_system(), TREE)
+        assert image.members(13) == [1, 3, 5, 7, 9, 11, 13]
+        # recovered representation is eventually periodic with period 2
+        assert any(p.periods == (2,) for p in image.infinite_parts())
+
+    def test_semilinear_matches_dp_counts(self):
+        adts = natlist_system()
+        image = size_image_semilinear(adts, NATLIST)
+        for k in range(1, 40):
+            realizable = adts.count_terms_of_size(NATLIST, k) > 0
+            assert (k in image) == realizable
+
+
+class TestExpanding:
+    def test_paper_example_7(self):
+        # Nat not expanding (|T^k| = 1); List expanding (Fibonacci growth)
+        assert not is_expanding_sort(nat_system(), NAT)
+        assert is_expanding_sort(natlist_system(), NATLIST)
+        assert is_expanding_sort(tree_system(), TREE)
+
+    def test_signature_level(self):
+        assert not is_expanding_signature(nat_system())
+        assert is_expanding_signature(tree_system())
+        # NatList's signature contains Nat, which is not expanding
+        assert not is_expanding_signature(natlist_system())

@@ -1,0 +1,270 @@
+"""Tests for the finite model finder and finite structures (Sec. 4.1/4.2)."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.from_model import (
+    automata_to_model,
+    herbrand_relation_member,
+    model_to_automaton,
+)
+from repro.chc.clauses import BodyAtom, CHCSystem, Clause
+from repro.chc.transform import preprocess
+from repro.logic.adt import NAT, S, Z, nat, nat_system, nat_value
+from repro.logic.formulas import TRUE
+from repro.logic.sorts import FuncSymbol, PredSymbol, Sort
+from repro.logic.terms import App, Var
+from repro.mace.finder import (
+    ModelFinder,
+    find_model,
+    flatten_clause,
+    size_vectors,
+)
+from repro.mace.model import FiniteModel, ModelError, validate_model
+from repro.problems import even_system
+
+NATS = nat_system()
+EVEN = PredSymbol("even", (NAT,))
+X = Var("x", NAT)
+
+
+def paper_even_model() -> FiniteModel:
+    """The Sec. 4.1 model: |M| = {0,1}, Z=0, S(x)=1-x, even={0}."""
+    return FiniteModel(
+        {NAT: 2},
+        {Z: {(): 0}, S: {(0,): 1, (1,): 0}},
+        {EVEN: {(0,)}},
+    )
+
+
+class TestFiniteModel:
+    def test_eval_term(self):
+        model = paper_even_model()
+        assert model.eval_term(nat(0)) == 0
+        assert model.eval_term(nat(1)) == 1
+        assert model.eval_term(nat(4)) == 0
+
+    def test_eval_term_with_env(self):
+        model = paper_even_model()
+        assert model.eval_term(App(S, (X,)), {X: 0}) == 1
+
+    def test_unbound_variable_rejected(self):
+        with pytest.raises(ModelError):
+            paper_even_model().eval_term(X)
+
+    def test_holds(self):
+        model = paper_even_model()
+        assert model.holds(EVEN, (0,))
+        assert not model.holds(EVEN, (1,))
+
+    def test_satisfies_preprocessed_even(self):
+        prepared = preprocess(even_system())
+        model = paper_even_model()
+        # add empty diseq interpretations if any predicate is missing
+        for pred in prepared.predicates.values():
+            model.predicates.setdefault(pred, set())
+        # Even has no diseq predicates: direct check
+        assert model.satisfies(prepared)
+        assert model.satisfies(prepared, herbrand=True)
+
+    def test_violation_reported(self):
+        prepared = preprocess(even_system())
+        broken = paper_even_model()
+        broken.predicates[EVEN] = {(0,), (1,)}
+        for pred in prepared.predicates.values():
+            broken.predicates.setdefault(pred, set())
+        violation = broken.first_violation(prepared)
+        assert violation is not None
+        clause, env = violation
+        assert clause.is_query
+
+    def test_reachable_elements(self):
+        model = paper_even_model()
+        assert model.reachable_elements(NATS)[NAT] == {0, 1}
+        # junk element: unreachable
+        bigger = FiniteModel(
+            {NAT: 3},
+            {Z: {(): 0}, S: {(0,): 1, (1,): 0, (2,): 2}},
+            {EVEN: {(0,)}},
+        )
+        assert bigger.reachable_elements(NATS)[NAT] == {0, 1}
+
+    def test_validate_model_detects_partial_table(self):
+        broken = FiniteModel(
+            {NAT: 2}, {Z: {(): 0}, S: {(0,): 1}}, {EVEN: set()}
+        )
+        with pytest.raises(ModelError):
+            validate_model(broken)
+
+    def test_validate_model_detects_out_of_domain(self):
+        broken = paper_even_model()
+        broken.predicates[EVEN] = {(7,)}
+        with pytest.raises(ModelError):
+            validate_model(broken)
+
+    def test_describe_is_readable(self):
+        text = paper_even_model().describe()
+        assert "M(even)" in text
+        assert "|M|_Nat" in text
+
+
+class TestFlattening:
+    def test_flatten_introduces_definitions(self):
+        system = preprocess(even_system())
+        counter = itertools.count()
+        flat = flatten_clause(system.clauses[1], counter)
+        # head even(S(S(x))) flattens into two S-definitions
+        assert len(flat.defs) == 2
+        assert flat.head is not None
+
+    def test_shared_subterms_share_variables(self):
+        p = PredSymbol("p", (NAT, NAT))
+        system = CHCSystem(nat_system())
+        t = App(S, (App(Z),))
+        system.add(Clause(TRUE, (), BodyAtom(p, (t, t))))
+        flat = flatten_clause(system.clauses[0], itertools.count())
+        assert flat.head.vars[0] == flat.head.vars[1]
+
+    def test_constraint_clause_rejected(self):
+        from repro.logic.formulas import Eq
+        from repro.mace.finder import FinderError
+
+        system = CHCSystem(nat_system())
+        system.add(Clause(Eq(X, App(Z)), (), BodyAtom(EVEN, (X,))))
+        with pytest.raises(FinderError):
+            flatten_clause(system.clauses[0], itertools.count())
+
+
+class TestSizeVectors:
+    def test_single_sort(self):
+        vectors = list(size_vectors([NAT], 3))
+        assert [v[NAT] for v in vectors] == [1, 2, 3]
+
+    def test_total_ordering(self):
+        a, b = Sort("A"), Sort("B")
+        vectors = list(size_vectors([a, b], 3))
+        totals = [v[a] + v[b] for v in vectors]
+        assert totals == sorted(totals)
+        assert (1, 1) == (vectors[0][a], vectors[0][b])
+
+    def test_min_total(self):
+        vectors = list(size_vectors([NAT], 5, min_total=3))
+        assert [v[NAT] for v in vectors] == [3, 4, 5]
+
+
+class TestFinder:
+    def test_even_finds_paper_model(self):
+        prepared = preprocess(even_system())
+        result = find_model(prepared)
+        assert result.found
+        model = result.model
+        assert model.size() == 2
+        # it must satisfy the clauses and alternate parity
+        assert model.satisfies(prepared)
+        z_val = model.eval_term(nat(0))
+        assert model.holds(EVEN, (z_val,))
+        assert not model.holds(EVEN, (model.eval_term(nat(1)),))
+
+    def test_unsat_euf_side_has_no_model(self):
+        # P(Z); P(x) -> P(S(x)); P(x) -> false  — no model of any size
+        p = PredSymbol("p", (NAT,))
+        system = CHCSystem(nat_system())
+        x = Var("x", NAT)
+        system.add(Clause(TRUE, (), BodyAtom(p, (App(Z),))))
+        system.add(
+            Clause(TRUE, (BodyAtom(p, (x,)),), BodyAtom(p, (App(S, (x,)),)))
+        )
+        system.add(Clause(TRUE, (BodyAtom(p, (x,)),), None))
+        result = find_model(system, max_total_size=4)
+        assert not result.found
+
+    def test_symmetry_breaking_preserves_satisfiability(self):
+        prepared = preprocess(even_system())
+        with_sb = find_model(prepared, symmetry_breaking=True)
+        without_sb = find_model(prepared, symmetry_breaking=False)
+        assert with_sb.found and without_sb.found
+        assert with_sb.model.size() == without_sb.model.size()
+
+    def test_found_models_are_valid(self):
+        prepared = preprocess(even_system())
+        result = find_model(prepared)
+        validate_model(result.model)
+
+    def test_min_total_size_skips_small_models(self):
+        prepared = preprocess(even_system())
+        result = find_model(prepared, min_total_size=3)
+        assert result.found
+        assert result.model.size() >= 3
+        assert result.model.satisfies(prepared)
+
+    def test_timeout_returns_gracefully(self):
+        from repro.problems import diag_system
+
+        prepared = preprocess(diag_system())
+        result = find_model(prepared, timeout=0.3, max_total_size=12)
+        assert not result.found
+
+
+class TestTheorem1:
+    """Theorem 1: L(A_P) = { t | M[[t]] in M(P) }."""
+
+    def test_even_model_automaton_matches_evaluation(self):
+        model = paper_even_model()
+        auto = model_to_automaton(model, NATS, EVEN)
+        for n in range(10):
+            t = nat(n)
+            assert auto.accepts(t) == model.holds(
+                EVEN, (model.eval_term(t),)
+            )
+            assert auto.accepts(t) == herbrand_relation_member(
+                model, EVEN, (t,)
+            )
+
+    def test_automaton_isomorphic_to_example_1(self):
+        # the induced automaton is exactly the s0/s1 flip of Example 1
+        model = paper_even_model()
+        auto = model_to_automaton(model, NATS, EVEN)
+        assert auto.transitions[("Z", ())] == 0
+        assert auto.transitions[("S", (0,))] == 1
+        assert auto.transitions[("S", (1,))] == 0
+        assert auto.finals == frozenset({(0,)})
+
+    def test_roundtrip_model_automata_model(self):
+        model = paper_even_model()
+        auto = model_to_automaton(model, NATS, EVEN)
+        back = automata_to_model(NATS, {EVEN: auto})
+        assert back.domains == model.domains
+        assert back.predicates[EVEN] == model.predicates[EVEN]
+        for n in range(6):
+            assert back.eval_term(nat(n)) == model.eval_term(nat(n))
+
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_theorem1_on_random_models(self, domain, data):
+        """Random finite Nat-structures: acceptance == evaluation."""
+        z_val = data.draw(st.integers(min_value=0, max_value=domain - 1))
+        s_table = {
+            (i,): data.draw(
+                st.integers(min_value=0, max_value=domain - 1)
+            )
+            for i in range(domain)
+        }
+        relation = {
+            (i,)
+            for i in range(domain)
+            if data.draw(st.booleans())
+        }
+        model = FiniteModel(
+            {NAT: domain}, {Z: {(): z_val}, S: s_table}, {EVEN: relation}
+        )
+        auto = model_to_automaton(model, NATS, EVEN)
+        for n in range(8):
+            t = nat(n)
+            assert auto.accepts(t) == (
+                (model.eval_term(t),) in relation
+            )

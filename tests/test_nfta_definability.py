@@ -1,0 +1,196 @@
+"""Tests for NFTA determinization and the Nat Elem-definability decision."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.automata.dfta import AutomatonError, make_dfta
+from repro.automata.nfta import (
+    NFTA,
+    determinize,
+    from_dfta,
+    union_dfta,
+    union_nfta,
+)
+from repro.automata.ops import equivalent, union
+from repro.logic.adt import NAT, TREE, nat, nat_system, tree_system
+from repro.problems import leaf, node
+from repro.theory.atlas import even_automaton, evenleft_automaton
+from repro.theory.definability import (
+    elem_defining_formula,
+    is_cofinite_language,
+    is_elem_definable_nat,
+    is_finite_language,
+    nat_language_profile,
+)
+
+NATS = nat_system()
+TREES = tree_system()
+
+
+def mod_automaton(m, residues):
+    transitions = {("Z", ()): 0}
+    for i in range(m):
+        transitions[("S", (i,))] = (i + 1) % m
+    return make_dfta(
+        NATS, {NAT: m}, transitions, [(r,) for r in residues], (NAT,)
+    )
+
+
+def upto_automaton(k):
+    """Numerals 0..k-1: a finite language with a rejecting sink."""
+    transitions = {("Z", ()): 0}
+    for i in range(k + 1):
+        transitions[("S", (i,))] = min(i + 1, k)
+    return make_dfta(
+        NATS,
+        {NAT: k + 1},
+        transitions,
+        [(i,) for i in range(k)],
+        (NAT,),
+    )
+
+
+class TestNfta:
+    def test_from_dfta_preserves_language(self):
+        auto = even_automaton(NATS)
+        nfta = from_dfta(auto)
+        assert nfta.is_deterministic()
+        for n in range(8):
+            assert nfta.accepts(nat(n)) == auto.accepts(nat(n))
+
+    def test_nondeterministic_acceptance(self):
+        # guess at Z: either parity track; accept if *some* run lands final
+        nfta = NFTA(
+            NATS,
+            {NAT: 2},
+            {
+                ("Z", ()): frozenset({0, 1}),
+                ("S", (0,)): frozenset({1}),
+                ("S", (1,)): frozenset({0}),
+            },
+            frozenset({0}),
+            NAT,
+        )
+        # with both start states available every numeral is accepted
+        for n in range(6):
+            assert nfta.accepts(nat(n))
+        assert not nfta.is_deterministic()
+
+    def test_bad_transition_rejected(self):
+        with pytest.raises(AutomatonError):
+            NFTA(
+                NATS, {NAT: 1}, {("Z", ()): frozenset({3})},
+                frozenset({0}), NAT,
+            )
+
+    def test_union_nfta_language(self):
+        evens = mod_automaton(2, [0])
+        mult3 = mod_automaton(3, [0])
+        u = union_nfta(evens, mult3)
+        for n in range(12):
+            assert u.accepts(nat(n)) == (n % 2 == 0 or n % 3 == 0)
+
+
+class TestDeterminize:
+    def test_determinize_union_matches_product_union(self):
+        evens = mod_automaton(2, [0])
+        mult3 = mod_automaton(3, [0])
+        via_subset = union_dfta(evens, mult3)
+        via_product = union(evens, mult3)
+        assert equivalent(via_subset, via_product)
+
+    def test_determinize_preserves_membership(self):
+        evens = mod_automaton(2, [0])
+        mult5 = mod_automaton(5, [0, 2])
+        d = union_dfta(evens, mult5)
+        for n in range(20):
+            expected = n % 2 == 0 or n % 5 in (0, 2)
+            assert d.accepts(nat(n)) == expected
+
+    def test_determinize_deterministic_input_is_equivalent(self):
+        auto = even_automaton(NATS)
+        again = determinize(from_dfta(auto))
+        assert equivalent(auto, again)
+
+    def test_tree_union(self):
+        el = evenleft_automaton(TREES)
+        # union with itself: same language
+        d = union_dfta(el, el)
+        for t in (leaf(), node(leaf(), leaf()), node(node(leaf(), leaf()), leaf())):
+            assert d.accepts(t) == el.accepts(t)
+
+
+class TestDefinability:
+    def test_even_profile_is_periodic(self):
+        profile = nat_language_profile(even_automaton(NATS))
+        assert profile.prefix == ()
+        assert profile.period == (True, False)
+
+    def test_even_is_not_elem_definable(self):
+        # Prop. 1 as a decision-procedure verdict
+        auto = even_automaton(NATS)
+        assert not is_finite_language(auto)
+        assert not is_cofinite_language(auto)
+        assert not is_elem_definable_nat(auto)
+        assert elem_defining_formula(auto) is None
+
+    def test_finite_language_definable(self):
+        auto = upto_automaton(3)
+        assert is_finite_language(auto)
+        assert is_elem_definable_nat(auto)
+        formula = elem_defining_formula(auto)
+        assert formula == "x = S^0(Z) | x = S^1(Z) | x = S^2(Z)"
+
+    def test_cofinite_language_definable(self):
+        # complement of {0}: everything but Z
+        transitions = {("Z", ()): 0, ("S", (0,)): 1, ("S", (1,)): 1}
+        auto = make_dfta(NATS, {NAT: 2}, transitions, [(1,)], (NAT,))
+        assert is_cofinite_language(auto)
+        formula = elem_defining_formula(auto)
+        assert formula == "~(x = S^0(Z))"
+
+    def test_empty_and_full(self):
+        empty = make_dfta(
+            NATS, {NAT: 1}, {("Z", ()): 0, ("S", (0,)): 0}, [], (NAT,)
+        )
+        assert elem_defining_formula(empty) == "false"
+        full = make_dfta(
+            NATS, {NAT: 1}, {("Z", ()): 0, ("S", (0,)): 0}, [(0,)], (NAT,)
+        )
+        assert elem_defining_formula(full) == "true"
+
+    def test_profile_member_agrees_with_automaton(self):
+        for auto in (
+            even_automaton(NATS),
+            mod_automaton(3, [1]),
+            upto_automaton(4),
+        ):
+            profile = nat_language_profile(auto)
+            for n in range(15):
+                assert profile.member(n) == auto.accepts(nat(n))
+
+    def test_ringen_invariant_definability_verdicts(self):
+        """Tie the decision procedure to the pipeline: Even's discovered
+        invariant is non-elementary; a bounded-reach invariant is."""
+        from repro import solve
+        from repro.problems import EVEN, even_system
+
+        result = solve(even_system(), timeout=20)
+        auto = result.invariant.automata[EVEN]
+        assert not is_elem_definable_nat(auto)
+
+
+@given(
+    st.integers(min_value=1, max_value=5),
+    st.sets(st.integers(min_value=0, max_value=4)),
+)
+@settings(max_examples=80, deadline=None)
+def test_profile_correct_on_random_mod_automata(m, residues):
+    residues = {r for r in residues if r < m}
+    auto = mod_automaton(m, sorted(residues))
+    profile = nat_language_profile(auto)
+    for n in range(18):
+        assert profile.member(n) == (n % m in residues)
+    # mod languages are elementary iff trivial
+    expected_definable = residues == set() or residues == set(range(m))
+    assert is_elem_definable_nat(auto) == expected_definable or m == 1

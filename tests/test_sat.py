@@ -1,0 +1,197 @@
+"""Tests for the CDCL SAT solver, cross-checked against brute force."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sat.cnf import (
+    at_most_one,
+    exactly_one,
+    from_dimacs,
+    implies,
+    to_dimacs,
+)
+from repro.sat.solver import (
+    CDCLSolver,
+    SatError,
+    brute_force_sat,
+    solve_cnf,
+    _luby,
+)
+
+
+def check_model(clauses, model):
+    return all(any(model[abs(l)] == (l > 0) for l in c) for c in clauses)
+
+
+class TestBasics:
+    def test_empty_formula_is_sat(self):
+        assert solve_cnf([], 3) is not None
+
+    def test_unit_clause(self):
+        model = solve_cnf([[1]], 1)
+        assert model == {1: True}
+
+    def test_contradiction(self):
+        assert solve_cnf([[1], [-1]], 1) is None
+
+    def test_simple_implication_chain(self):
+        clauses = [[1], implies([1], 2), implies([2], 3)]
+        model = solve_cnf(clauses, 3)
+        assert model == {1: True, 2: True, 3: True}
+
+    def test_requires_backtracking(self):
+        # (x1 | x2) & (~x1 | x3) & (~x2 | ~x3) & (~x1 | ~x2)
+        clauses = [[1, 2], [-1, 3], [-2, -3], [-1, -2]]
+        model = solve_cnf(clauses, 3)
+        assert model is not None
+        assert check_model(clauses, model)
+
+    def test_pigeonhole_3_into_2_unsat(self):
+        # var p_{i,j}: pigeon i in hole j; 3 pigeons, 2 holes
+        def v(i, j):
+            return i * 2 + j + 1
+
+        clauses = []
+        for i in range(3):
+            clauses.append([v(i, 0), v(i, 1)])
+        for j in range(2):
+            for i1 in range(3):
+                for i2 in range(i1 + 1, 3):
+                    clauses.append([-v(i1, j), -v(i2, j)])
+        assert solve_cnf(clauses, 6) is None
+
+    def test_zero_literal_rejected(self):
+        solver = CDCLSolver(1)
+        with pytest.raises(SatError):
+            solver.add_clause([0])
+
+    def test_unknown_variable_rejected(self):
+        solver = CDCLSolver(1)
+        with pytest.raises(SatError):
+            solver.add_clause([5])
+
+    def test_tautological_clause_ignored(self):
+        solver = CDCLSolver(2)
+        solver.add_clause([1, -1])
+        assert solver.solve() is True
+
+    def test_duplicate_literals_collapsed(self):
+        solver = CDCLSolver(1)
+        solver.add_clause([1, 1, 1])
+        assert solver.solve() is True
+        assert solver.model()[1] is True
+
+    def test_assumptions(self):
+        solver = CDCLSolver(2)
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[-1]) is True
+        assert solver.model()[2] is True
+        solver2 = CDCLSolver(2)
+        solver2.add_clause([1])
+        assert solver2.solve(assumptions=[-1]) is False
+
+    def test_conflict_budget_returns_none(self):
+        # a hard unsat instance with tiny budget: None (gave up)
+        def v(i, j):
+            return i * 4 + j + 1
+
+        clauses = []
+        for i in range(5):
+            clauses.append([v(i, j) for j in range(4)])
+        for j in range(4):
+            for i1 in range(5):
+                for i2 in range(i1 + 1, 5):
+                    clauses.append([-v(i1, j), -v(i2, j)])
+        solver = CDCLSolver(20)
+        for c in clauses:
+            solver.add_clause(c)
+        assert solver.solve(max_conflicts=1) is None
+
+    def test_luby_sequence(self):
+        assert [_luby(i) for i in range(1, 16)] == [
+            1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8,
+        ]
+
+    def test_stats_populated(self):
+        solver = CDCLSolver(3)
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 3])
+        solver.solve()
+        assert solver.stats.decisions >= 1
+
+
+class TestEncodings:
+    def test_at_most_one_semantics(self):
+        clauses = list(at_most_one([1, 2, 3]))
+        for bits in itertools.product([False, True], repeat=3):
+            model = {i + 1: bits[i] for i in range(3)}
+            expected = sum(bits) <= 1
+            assert check_model(clauses, model) == expected
+
+    def test_exactly_one_semantics(self):
+        clauses = list(exactly_one([1, 2, 3]))
+        for bits in itertools.product([False, True], repeat=3):
+            model = {i + 1: bits[i] for i in range(3)}
+            expected = sum(bits) == 1
+            assert check_model(clauses, model) == expected
+
+    def test_exactly_one_empty_rejected(self):
+        with pytest.raises(SatError):
+            list(exactly_one([]))
+
+    def test_dimacs_roundtrip(self):
+        clauses = [[1, -2], [2, 3], [-1]]
+        text = to_dimacs(clauses, 3)
+        parsed, nvars = from_dimacs(text)
+        assert parsed == clauses
+        assert nvars == 3
+
+    def test_dimacs_malformed_problem_line(self):
+        with pytest.raises(SatError):
+            from_dimacs("p wrong 1 2")
+
+
+# ----------------------------------------------------------------------
+# equivalence with brute force on random small CNFs
+# ----------------------------------------------------------------------
+@st.composite
+def random_cnf(draw):
+    num_vars = draw(st.integers(min_value=1, max_value=6))
+    num_clauses = draw(st.integers(min_value=1, max_value=14))
+    clauses = []
+    for _ in range(num_clauses):
+        width = draw(st.integers(min_value=1, max_value=3))
+        clause = [
+            draw(st.integers(min_value=1, max_value=num_vars))
+            * draw(st.sampled_from([1, -1]))
+            for _ in range(width)
+        ]
+        clauses.append(clause)
+    return clauses, num_vars
+
+
+@given(random_cnf())
+@settings(max_examples=300, deadline=None)
+def test_cdcl_agrees_with_brute_force(case):
+    clauses, num_vars = case
+    reference = brute_force_sat(clauses, num_vars)
+    model = solve_cnf(clauses, num_vars)
+    if reference is None:
+        assert model is None
+    else:
+        assert model is not None
+        assert check_model(clauses, model)
+
+
+@given(random_cnf())
+@settings(max_examples=100, deadline=None)
+def test_incremental_addition_matches_batch(case):
+    clauses, num_vars = case
+    solver = CDCLSolver(num_vars)
+    ok = True
+    for clause in clauses:
+        ok = solver.add_clause(clause) and ok
+    outcome = solver.solve() if ok else False
+    assert outcome == (brute_force_sat(clauses, num_vars) is not None)

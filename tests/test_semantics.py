@@ -1,0 +1,148 @@
+"""Tests for ground semantics: constraint evaluation, bounded fixpoints."""
+
+import pytest
+
+from repro.chc.clauses import BodyAtom, CHCSystem, Clause
+from repro.chc.semantics import (
+    ClauseViolation,
+    SemanticsError,
+    bounded_least_fixpoint,
+    check_model_bounded,
+    eval_constraint,
+)
+from repro.logic.adt import NAT, nat, nat_system, nat_value
+from repro.logic.formulas import And, Eq, Not, Or, TRUE, Tester, conj
+from repro.logic.sorts import PredSymbol
+from repro.logic.terms import Var
+from repro.problems import (
+    even_system,
+    incdec_system,
+    odd_unsat_system,
+    s,
+    z,
+)
+
+ADTS = nat_system()
+X = Var("x", NAT)
+
+
+class TestEvalConstraint:
+    def test_equality(self):
+        assert eval_constraint(Eq(nat(2), nat(2)), ADTS)
+        assert not eval_constraint(Eq(nat(2), nat(3)), ADTS)
+
+    def test_tester(self):
+        assert eval_constraint(Tester(ADTS.constructor("S"), nat(1)), ADTS)
+        assert not eval_constraint(Tester(ADTS.constructor("S"), nat(0)), ADTS)
+
+    def test_boolean_connectives(self):
+        t = Eq(nat(1), nat(1))
+        f = Eq(nat(1), nat(2))
+        assert eval_constraint(And((t, t)), ADTS)
+        assert not eval_constraint(And((t, f)), ADTS)
+        assert eval_constraint(Or((f, t)), ADTS)
+        assert eval_constraint(Not(f), ADTS)
+
+    def test_non_ground_rejected(self):
+        with pytest.raises(SemanticsError):
+            eval_constraint(Eq(X, nat(1)), ADTS)
+
+
+class TestBoundedFixpoint:
+    def test_even_facts_are_the_even_numerals(self):
+        result = bounded_least_fixpoint(
+            even_system(), max_height=7, check_queries=False
+        )
+        even = even_system().predicates["even"]
+        values = sorted(nat_value(args[0]) for args in result.facts[even])
+        assert values == [0, 2, 4, 6]
+
+    def test_incdec_facts(self):
+        system = incdec_system()
+        result = bounded_least_fixpoint(
+            system, max_height=5, check_queries=False
+        )
+        inc = system.predicates["inc"]
+        pairs = {
+            (nat_value(a), nat_value(b)) for a, b in result.facts[inc]
+        }
+        assert pairs == {(0, 1), (1, 2), (2, 3), (3, 4)}
+
+    def test_safe_system_has_no_refutation(self):
+        result = bounded_least_fixpoint(even_system(), max_height=6)
+        assert result.refutation is None
+
+    def test_unsat_system_finds_refutation(self):
+        result = bounded_least_fixpoint(odd_unsat_system(), max_height=4)
+        assert result.refutation is not None
+
+    def test_refutation_is_a_derivation_of_false(self):
+        result = bounded_least_fixpoint(odd_unsat_system(), max_height=4)
+        d = result.refutation
+        assert d.conclusion is None
+        assert d.depth() >= 1
+        assert "false" in d.format()
+
+    def test_derivation_premises_are_derived_facts(self):
+        result = bounded_least_fixpoint(odd_unsat_system(), max_height=4)
+
+        def check(d):
+            for premise in d.premises:
+                pred, args = premise.conclusion
+                assert result.holds(pred, args)
+                check(premise)
+
+        check(result.refutation)
+
+    def test_max_facts_cap_marks_unsaturated(self):
+        result = bounded_least_fixpoint(
+            even_system(), max_height=12, max_facts=2, check_queries=False
+        )
+        assert not result.saturated
+
+    def test_step_budget_marks_unsaturated(self):
+        result = bounded_least_fixpoint(
+            even_system(), max_height=7, max_steps=3, check_queries=False
+        )
+        assert not result.saturated
+
+    def test_saturation_detected_for_closed_systems(self):
+        # single fact, no recursion: saturates immediately
+        system = CHCSystem(nat_system())
+        p = PredSymbol("p", (NAT,))
+        system.add(Clause(TRUE, (), BodyAtom(p, (z(),))))
+        result = bounded_least_fixpoint(system, max_height=3)
+        assert result.saturated
+        assert result.fact_count() == 1
+
+
+class TestCheckModelBounded:
+    def test_true_invariant_passes(self):
+        system = even_system()
+        even = system.predicates["even"]
+
+        def interp(pred, args):
+            return nat_value(args[0]) % 2 == 0
+
+        assert check_model_bounded(system, interp, max_height=5) is None
+
+    def test_wrong_invariant_reports_violation(self):
+        system = even_system()
+
+        def interp(pred, args):
+            return True  # accepts everything: violates the query
+
+        violation = check_model_bounded(system, interp, max_height=4)
+        assert isinstance(violation, ClauseViolation)
+        assert violation.clause.is_query
+        assert "violated" in str(violation)
+
+    def test_non_inductive_invariant_reports_definite_violation(self):
+        system = even_system()
+
+        def interp(pred, args):
+            return nat_value(args[0]) == 0  # not closed under the step
+
+        violation = check_model_bounded(system, interp, max_height=4)
+        assert violation is not None
+        assert not violation.clause.is_query

@@ -1,0 +1,213 @@
+"""Tests for the term layer: construction, metrics, substitution, unification."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.logic.adt import NAT, S, Z, nat, nat_system, nat_value
+from repro.logic.sorts import FuncSymbol, Sort
+from repro.logic.terms import (
+    App,
+    TermError,
+    Var,
+    compose,
+    count_symbol,
+    height,
+    is_ground,
+    matches,
+    occurs,
+    size,
+    substitute,
+    subterms,
+    unify,
+    variables,
+)
+
+ADTS = nat_system()
+X = Var("x", NAT)
+Y = Var("y", NAT)
+W = Var("w", NAT)
+
+
+def s(t):
+    return App(S, (t,))
+
+
+def z():
+    return App(Z)
+
+
+class TestConstruction:
+    def test_constant_application(self):
+        assert z().func == Z
+        assert z().args == ()
+
+    def test_nested_application(self):
+        term = s(s(z()))
+        assert term.func == S
+        assert term.args[0] == s(z())
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(TermError):
+            App(S, ())
+
+    def test_wrong_sort_rejected(self):
+        other = Sort("Other")
+        c = FuncSymbol("c", (), other)
+        with pytest.raises(TermError):
+            App(S, (App(c),))
+
+    def test_equality_is_structural(self):
+        assert s(z()) == s(z())
+        assert s(z()) != z()
+
+    def test_hash_consistency(self):
+        assert hash(s(z())) == hash(s(z()))
+
+    def test_immutability(self):
+        term = s(z())
+        with pytest.raises(AttributeError):
+            term.func = Z
+
+    def test_str_rendering(self):
+        assert str(s(s(z()))) == "S(S(Z))"
+        assert str(z()) == "Z"
+        assert str(X) == "x"
+
+
+class TestMetrics:
+    def test_height_constant_is_one(self):
+        assert height(z()) == 1
+
+    def test_height_variable_is_zero(self):
+        assert height(X) == 0
+
+    def test_height_nested(self):
+        assert height(s(s(z()))) == 3
+
+    def test_size_counts_constructors(self):
+        assert size(z()) == 1
+        assert size(s(s(z()))) == 3
+        assert size(X) == 0
+
+    def test_numeral_roundtrip(self):
+        for n in range(10):
+            assert nat_value(nat(n)) == n
+
+    def test_is_ground(self):
+        assert is_ground(z())
+        assert not is_ground(s(X))
+
+    def test_count_symbol(self):
+        assert count_symbol(s(s(z())), "S") == 2
+        assert count_symbol(s(s(z())), "Z") == 1
+
+
+class TestTraversal:
+    def test_subterms_preorder(self):
+        term = s(s(z()))
+        assert list(subterms(term)) == [term, s(z()), z()]
+
+    def test_variables_collects_all(self):
+        assert variables(s(X)) == {X}
+        assert variables(z()) == set()
+
+    def test_occurs(self):
+        assert occurs(X, s(X))
+        assert not occurs(Y, s(X))
+
+
+class TestSubstitution:
+    def test_basic(self):
+        assert substitute(s(X), {X: z()}) == s(z())
+
+    def test_simultaneous(self):
+        # simultaneous: X := Y happens without re-substituting Y
+        result = substitute(s(X), {X: Y, Y: z()})
+        assert result == s(Y)
+
+    def test_identity_preserves_sharing(self):
+        term = s(s(z()))
+        assert substitute(term, {X: z()}) is term
+
+    def test_compose_applies_inner_first(self):
+        inner = {X: s(Y)}
+        outer = {Y: z()}
+        combined = compose(outer, inner)
+        assert substitute(X, combined) == s(z())
+
+
+class TestUnification:
+    def test_unifies_var_term(self):
+        subst = unify([(X, s(z()))])
+        assert subst == {X: s(z())}
+
+    def test_unifies_structures(self):
+        subst = unify([(s(X), s(s(Y)))])
+        assert substitute(s(X), subst) == substitute(s(s(Y)), subst)
+
+    def test_clash_returns_none(self):
+        assert unify([(z(), s(X))]) is None
+
+    def test_occurs_check(self):
+        assert unify([(X, s(X))]) is None
+
+    def test_chained_equations(self):
+        subst = unify([(X, Y), (Y, z())])
+        assert substitute(X, subst) == z()
+        assert substitute(Y, subst) == z()
+
+    def test_matches_one_sided(self):
+        m = matches(s(X), s(z()))
+        assert m == {X: z()}
+        assert matches(s(z()), s(s(z()))) is None
+
+    def test_matches_nonlinear(self):
+        f = FuncSymbol("pair", (NAT, NAT), NAT)
+        pattern = App(f, (X, X))
+        assert matches(pattern, App(f, (z(), z()))) == {X: z()}
+        assert matches(pattern, App(f, (z(), s(z())))) is None
+
+
+# ----------------------------------------------------------------------
+# property-based tests
+# ----------------------------------------------------------------------
+nat_terms = st.integers(min_value=0, max_value=12).map(nat)
+
+
+@st.composite
+def open_terms(draw, max_depth=4):
+    """Random Nat terms with variables at the leaves."""
+    depth = draw(st.integers(min_value=0, max_value=max_depth))
+    leaf = draw(st.sampled_from([X, Y, W, z()]))
+    term = leaf
+    for _ in range(depth):
+        term = s(term)
+    return term
+
+
+@given(nat_terms)
+def test_height_equals_size_for_numerals(term):
+    # Peano numerals are unary: every constructor adds one to both
+    assert height(term) == size(term)
+
+
+@given(open_terms(), nat_terms)
+def test_substitution_grounds_single_variable(term, filler):
+    for v in variables(term):
+        grounded = substitute(term, {v: filler})
+        assert is_ground(grounded)
+
+
+@given(open_terms(), open_terms())
+@settings(max_examples=200)
+def test_unify_produces_actual_unifier(left, right):
+    subst = unify([(left, right)])
+    if subst is not None:
+        assert substitute(left, subst) == substitute(right, subst)
+
+
+@given(open_terms(), nat_terms)
+def test_matches_implies_substitution_equality(pattern, ground):
+    m = matches(pattern, ground)
+    if m is not None:
+        assert substitute(pattern, m) == ground

@@ -1,0 +1,144 @@
+"""Tests for clause unfolding (the fold/unfold transformation half)."""
+
+import pytest
+
+from repro.chc.clauses import BodyAtom, CHCError, CHCSystem, Clause
+from repro.chc.semantics import bounded_least_fixpoint
+from repro.chc.transform import preprocess
+from repro.chc.unfold import inline_nonrecursive, unfold_atom, unfold_system
+from repro.logic.adt import NAT, nat, nat_system
+from repro.logic.formulas import TRUE
+from repro.logic.sorts import PredSymbol
+from repro.logic.terms import Var
+from repro.problems import even_system, odd_unsat_system, s, z
+
+P = PredSymbol("p", (NAT,))
+Q = PredSymbol("q", (NAT,))
+X = Var("x", NAT)
+Y = Var("y", NAT)
+
+
+def chain_system() -> CHCSystem:
+    """q(x) defined through the auxiliary p: p(Z); p(x) -> q(S(x))."""
+    system = CHCSystem(nat_system())
+    system.add(Clause(TRUE, (), BodyAtom(P, (z(),)), "p-base"))
+    system.add(
+        Clause(TRUE, (BodyAtom(P, (X,)),), BodyAtom(Q, (s(X),)), "q-def")
+    )
+    system.add(Clause(TRUE, (BodyAtom(Q, (X,)),), None, "query"))
+    return system
+
+
+class TestUnfoldAtom:
+    def test_single_resolution(self):
+        system = chain_system()
+        query = system.queries[0]
+        resolved = unfold_atom(query, 0, system)
+        assert len(resolved) == 1
+        # the query now demands p(x) directly
+        assert resolved[0].body[0].pred == P
+
+    def test_unifier_applied(self):
+        system = chain_system()
+        q_def = [c for c in system.clauses if c.name == "q-def"][0]
+        resolved = unfold_atom(q_def, 0, system)
+        assert len(resolved) == 1
+        # unfolding p's only definition grounds x to Z
+        assert str(resolved[0].head) == "q(S(Z))"
+        assert not resolved[0].body
+
+    def test_no_definitions_yields_nothing(self):
+        system = CHCSystem(nat_system())
+        system.add(Clause(TRUE, (BodyAtom(P, (X,)),), None, "query"))
+        resolved = unfold_atom(system.queries[0], 0, system)
+        assert resolved == []
+
+    def test_index_checked(self):
+        system = chain_system()
+        with pytest.raises(CHCError):
+            unfold_atom(system.queries[0], 3, system)
+
+    def test_universal_block_rejected(self):
+        system = CHCSystem(nat_system())
+        blocked = BodyAtom(P, (X,), universal_vars=(X,))
+        system.add(Clause(TRUE, (blocked,), None, "query"))
+        with pytest.raises(CHCError):
+            unfold_atom(system.queries[0], 0, system)
+
+    def test_variable_capture_avoided(self):
+        # the definition uses the same variable name `x`: must be renamed
+        system = CHCSystem(nat_system())
+        system.add(
+            Clause(TRUE, (BodyAtom(P, (X,)),), BodyAtom(Q, (X,)), "q-def")
+        )
+        system.add(
+            Clause(TRUE, (BodyAtom(Q, (s(X),)),), None, "query")
+        )
+        resolved = unfold_atom(system.queries[0], 0, system)
+        assert len(resolved) == 1
+        assert resolved[0].body[0].pred == P
+
+
+class TestUnfoldSystem:
+    def test_preserves_bounded_least_model(self):
+        system = even_system()
+        unfolded = unfold_system(system)
+        even = system.predicates["even"]
+        before = bounded_least_fixpoint(
+            system, max_height=6, check_queries=False
+        )
+        after = bounded_least_fixpoint(
+            unfolded, max_height=6, check_queries=False
+        )
+        assert before.facts[even] == after.facts[even]
+
+    def test_preserves_refutability(self):
+        system = odd_unsat_system()
+        unfolded = unfold_system(system)
+        result = bounded_least_fixpoint(unfolded, max_height=4)
+        assert result.refutation is not None
+
+    def test_unfolding_doubles_visible_depth(self):
+        # even-step unfolded once steps by 4 — facts at height 5 appear
+        # after one round instead of two
+        system = even_system()
+        unfolded = unfold_system(system)
+        even = system.predicates["even"]
+        facts = bounded_least_fixpoint(
+            unfolded, max_height=5, check_queries=False
+        ).facts[even]
+        assert (nat(4),) in facts
+
+    def test_budget_enforced(self):
+        system = even_system()
+        with pytest.raises(CHCError):
+            unfold_system(system, max_clauses=1)
+
+
+class TestInlineNonrecursive:
+    def test_auxiliary_predicate_eliminated(self):
+        system = chain_system()
+        inlined = inline_nonrecursive(system)
+        # p fed into q; q's definition now references nothing
+        assert all(
+            atom.pred.name != "p"
+            for cl in inlined.clauses
+            for atom in cl.body
+        )
+
+    def test_recursive_predicates_survive(self):
+        system = even_system()
+        inlined = inline_nonrecursive(system)
+        assert any(
+            cl.head is not None and cl.head.pred.name == "even"
+            for cl in inlined.clauses
+        )
+
+    def test_satisfiability_preserved(self):
+        from repro import solve
+
+        system = chain_system()
+        # the chain system is UNSAT (q(S(Z)) derivable, query kills it)
+        direct = solve(system, timeout=10)
+        inlined_result = solve(inline_nonrecursive(system), timeout=10)
+        assert direct.status == inlined_result.status
