@@ -1,0 +1,144 @@
+"""Ablation: incremental model-finding engine vs. from-scratch re-encoding.
+
+Runs the finite model finder twice per problem — once with the shared
+CDCL engine (one solver spans the size sweep, clauses guarded by
+existence selectors, per-vector solving under assumptions) and once with
+the engine reset before every size vector (the seed behaviour) — and
+records wall-clock plus clause-encoding statistics for both.  Results
+must agree exactly (same found/not-found verdicts, same model sizes);
+the point of the incremental engine is to do strictly less encoding
+work for the same answers.
+
+The measurements are written to ``BENCH_incremental.json`` at the repo
+root so the performance trajectory is recorded from this PR onward;
+``benchmarks/smoke.sh`` runs the quick scale and fails if the
+incremental engine is more than 10% slower than from-scratch.
+
+Usable both as a script (``python benchmarks/bench_incremental.py``,
+exit code 1 on disagreement) and as a pytest module.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.chc.transform import preprocess
+from repro.mace.finder import find_model
+from repro.problems import (
+    diag_system,
+    diseq_zz_system,
+    even_system,
+    evenleft_system,
+    incdec_system,
+    odd_unsat_system,
+)
+
+ARTIFACT = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_incremental.json"
+)
+
+# (name, system factory, find_model kwargs) — SAT problems exercise
+# model decoding across resumed sweeps, UNSAT ones exercise deep sweeps
+# where clause reuse matters most.
+QUICK_PROBLEMS = [
+    ("even", even_system, {}),
+    ("incdec", incdec_system, {}),
+    ("evenleft", evenleft_system, {}),
+    ("diseq_zz", diseq_zz_system, {}),
+    ("odd_unsat", odd_unsat_system, {"max_total_size": 5}),
+    ("diag", diag_system, {"max_total_size": 5}),
+]
+
+FULL_EXTRA = [
+    ("diag-6", diag_system, {"max_total_size": 6}),
+    ("diag-7", diag_system, {"max_total_size": 7, "timeout": 60}),
+]
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "quick")
+
+
+def _measure(prepared, incremental: bool, kwargs: dict) -> dict:
+    start = time.monotonic()
+    result = find_model(prepared, incremental=incremental, **kwargs)
+    elapsed = time.monotonic() - start
+    stats = result.stats.as_dict()
+    stats["time"] = elapsed
+    stats["found"] = result.found
+    return stats
+
+
+def run_ablation() -> dict:
+    scale = bench_scale()
+    problems = list(QUICK_PROBLEMS)
+    if scale == "full":
+        problems += FULL_EXTRA
+    rows = []
+    for name, factory, kwargs in problems:
+        prepared = preprocess(factory())
+        inc = _measure(prepared, True, kwargs)
+        scr = _measure(prepared, False, kwargs)
+        rows.append(
+            {
+                "problem": name,
+                "incremental": inc,
+                "scratch": scr,
+                "agree": (
+                    inc["found"] == scr["found"]
+                    and inc["model_size"] == scr["model_size"]
+                ),
+            }
+        )
+    totals = {
+        "incremental_time": sum(r["incremental"]["time"] for r in rows),
+        "scratch_time": sum(r["scratch"]["time"] for r in rows),
+        "incremental_clauses_encoded": sum(
+            r["incremental"]["clauses_encoded"] for r in rows
+        ),
+        "scratch_clauses_encoded": sum(
+            r["scratch"]["clauses_encoded"] for r in rows
+        ),
+        "clauses_reused": sum(
+            r["incremental"]["clauses_reused"] for r in rows
+        ),
+        "all_agree": all(r["agree"] for r in rows),
+    }
+    if totals["incremental_time"] > 0:
+        totals["speedup"] = (
+            totals["scratch_time"] / totals["incremental_time"]
+        )
+    report = {"scale": scale, "problems": rows, "totals": totals}
+    ARTIFACT.write_text(json.dumps(report, indent=2) + "\n")
+    return report
+
+
+def test_incremental_ablation():
+    """Results agree and the incremental engine encodes fewer clauses."""
+    report = run_ablation()
+    totals = report["totals"]
+    assert totals["all_agree"], report
+    assert (
+        totals["incremental_clauses_encoded"]
+        < totals["scratch_clauses_encoded"]
+    ), totals
+    assert totals["clauses_reused"] > 0, totals
+
+
+def main() -> int:
+    report = run_ablation()
+    totals = report["totals"]
+    print(json.dumps(totals, indent=2))
+    print(f"artifact: {ARTIFACT}")
+    if not totals["all_agree"]:
+        print("FAIL: incremental and from-scratch results disagree")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Quick performance gate for the incremental model-finding engine.
+#
+# Runs the incremental-vs-from-scratch ablation at quick scale, emits
+# BENCH_incremental.json at the repo root, and fails if
+#   * the two engines disagree on any verdict or model size, or
+#   * the incremental engine is more than 10% slower than from-scratch
+#     on the quick suite.
+#
+# Usage: benchmarks/smoke.sh   (from anywhere; CI runs it as-is)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export REPRO_BENCH_SCALE="${REPRO_BENCH_SCALE:-quick}"
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+python benchmarks/bench_incremental.py
+
+python - <<'EOF'
+import json
+import sys
+
+with open("BENCH_incremental.json") as handle:
+    report = json.load(handle)
+totals = report["totals"]
+
+if not totals["all_agree"]:
+    sys.exit("FAIL: incremental and from-scratch results disagree")
+
+inc, scr = totals["incremental_time"], totals["scratch_time"]
+print(f"incremental: {inc:.3f}s  from-scratch: {scr:.3f}s  "
+      f"speedup: {totals.get('speedup', float('nan')):.2f}x")
+print(f"clauses encoded: {totals['incremental_clauses_encoded']} vs "
+      f"{totals['scratch_clauses_encoded']} "
+      f"(reused {totals['clauses_reused']})")
+if inc > 1.10 * scr:
+    sys.exit(f"FAIL: incremental engine {inc:.3f}s is >10% slower than "
+             f"from-scratch {scr:.3f}s")
+print("OK: incremental engine within budget")
+EOF

@@ -6,17 +6,25 @@ what make the Reg representation class effective — e.g. checking that a
 regular invariant candidate is inductive reduces to emptiness of boolean
 combinations.  We implement:
 
-* completion (adding a sink state),
+* completion (adding sink states copy-on-miss: only sorts that actually
+  need one, only functions with missing rules are swept),
 * complement (complete + invert finals),
 * products (intersection / union / difference on same-signature automata),
+  built sparsely: a worklist explores only the *reachable* state pairs
+  instead of the full cartesian state space (``dense_product`` keeps the
+  textbook construction as the reference the tests compare against),
 * trimming (reachable-state pruning with renumbering),
 * minimization for 1-automata (Myhill–Nerode style refinement),
-* language equivalence via symmetric-difference emptiness.
+* language equivalence / inclusion via product emptiness, with the
+  emptiness verdicts memoized in a shared cache (:func:`cached_is_empty`)
+  so repeated verification queries against the same invariants are free.
 """
 
 from __future__ import annotations
 
 import itertools
+import weakref
+from collections import Counter
 from typing import Callable, Optional
 
 from repro.automata.dfta import DFTA, AutomatonError, State, make_dfta
@@ -24,10 +32,70 @@ from repro.logic.sorts import Sort
 
 
 def complete(automaton: DFTA) -> DFTA:
-    """Add a sink state per sort and route all missing rules to it.
+    """Route all missing rules to sink states, copy-on-miss.
 
-    The accepted language is unchanged (the sink never joins a final
+    The accepted language is unchanged (a sink never joins a final
     tuple), but every run becomes defined, enabling complementation.
+    Unlike the textbook construction (:func:`dense_complete`), sinks are
+    only added to sorts that transitively need one, and only functions
+    with missing rules are swept — an almost-complete automaton pays for
+    its few missing rules, not for its full transition space.
+    """
+    counts = Counter(name for name, _ in automaton.transitions)
+    functions = automaton.adts.signature.functions.values()
+
+    def expected(func) -> int:
+        n = 1
+        for s in func.arg_sorts:
+            n *= automaton.states.get(s, 0)
+        return n
+
+    missing = [f for f in functions if counts[f.name] != expected(f)]
+    if not missing:
+        return automaton
+    # sorts needing a sink: result sorts of incomplete functions, closed
+    # under "a sink argument creates new left-hand sides"
+    need = {f.result_sort for f in missing}
+    changed = True
+    while changed:
+        changed = False
+        for f in functions:
+            if f.result_sort not in need and any(
+                s in need for s in f.arg_sorts
+            ):
+                need.add(f.result_sort)
+                changed = True
+    states = {
+        sort: n + (1 if sort in need else 0)
+        for sort, n in automaton.states.items()
+    }
+    for sort in need:
+        states.setdefault(sort, 1)
+    sinks = {sort: automaton.states.get(sort, 0) for sort in need}
+    transitions = dict(automaton.transitions)
+    for func in functions:
+        if func not in missing and not any(
+            s in need for s in func.arg_sorts
+        ):
+            continue  # already total and no new sink arguments: copy as-is
+        pools = [range(states.get(s, 0)) for s in func.arg_sorts]
+        sink = sinks[func.result_sort]
+        for args in itertools.product(*pools):
+            transitions.setdefault((func.name, args), sink)
+    return make_dfta(
+        automaton.adts,
+        states,
+        transitions,
+        automaton.finals,
+        automaton.final_sorts,
+    )
+
+
+def dense_complete(automaton: DFTA) -> DFTA:
+    """Textbook completion: one sink per sort, full transition sweep.
+
+    Kept as the reference implementation the property tests compare the
+    copy-on-miss :func:`complete` against.
     """
     if automaton.is_complete():
         return automaton
@@ -71,6 +139,13 @@ def complement(automaton: DFTA) -> DFTA:
     )
 
 
+def _check_product_operands(left: DFTA, right: DFTA) -> None:
+    if left.adts is not right.adts and left.adts.sorts != right.adts.sorts:
+        raise AutomatonError("product of automata over different ADT systems")
+    if left.final_sorts != right.final_sorts:
+        raise AutomatonError("product of automata of different dimensions")
+
+
 def product(
     left: DFTA,
     right: DFTA,
@@ -79,13 +154,110 @@ def product(
     """Product automaton whose finals are chosen by ``combine``.
 
     Both automata must share the ADT system, dimension and final sorts.
-    Operands are completed first so that boolean identities hold exactly.
+    The construction is on-the-fly: a worklist grows the set of
+    *reachable* state pairs bottom-up (semi-naive — each round only
+    expands left-hand sides touching a frontier pair), so the result has
+    one state per reachable pair instead of the full ``|A| x |B|``
+    cartesian space that :func:`dense_product` enumerates.  Completion
+    of the operands is virtual: a missing rule reads as a transition
+    into that sort's sink, and sink rules are never materialized.
     """
-    if left.adts is not right.adts and left.adts.sorts != right.adts.sorts:
-        raise AutomatonError("product of automata over different ADT systems")
-    if left.final_sorts != right.final_sorts:
-        raise AutomatonError("product of automata of different dimensions")
-    a, b = complete(left), complete(right)
+    _check_product_operands(left, right)
+    a, b = left, right
+    all_sorts = set(a.states) | set(b.states)
+    sink_a = {s: a.states.get(s, 0) for s in all_sorts}
+    sink_b = {s: b.states.get(s, 0) for s in all_sorts}
+
+    order: dict[Sort, list[tuple[State, State]]] = {
+        s: [] for s in all_sorts
+    }
+    index: dict[Sort, dict[tuple[State, State], State]] = {
+        s: {} for s in all_sorts
+    }
+
+    def register(sort: Sort, pair: tuple[State, State]) -> State:
+        table = index[sort]
+        pid = table.get(pair)
+        if pid is None:
+            pid = len(table)
+            table[pair] = pid
+            order[sort].append(pair)
+        return pid
+
+    def step(func, pairs: tuple[tuple[State, State], ...]) -> State:
+        a_args = tuple(p[0] for p in pairs)
+        b_args = tuple(p[1] for p in pairs)
+        ra = a.transitions.get((func.name, a_args))
+        if ra is None:
+            ra = sink_a[func.result_sort]
+        rb = b.transitions.get((func.name, b_args))
+        if rb is None:
+            rb = sink_b[func.result_sort]
+        return register(func.result_sort, (ra, rb))
+
+    transitions: dict[tuple[str, tuple[State, ...]], State] = {}
+    functions = list(a.adts.signature.functions.values())
+    frontier_start = {s: 0 for s in all_sorts}
+    for func in functions:
+        if func.arity == 0:
+            transitions[(func.name, ())] = step(func, ())
+    while True:
+        starts = dict(frontier_start)
+        ends = {s: len(order[s]) for s in all_sorts}
+        if all(starts[s] == ends[s] for s in all_sorts):
+            break
+        for func in functions:
+            if func.arity == 0:
+                continue
+            for pivot in range(func.arity):
+                # pivot = first argument drawn from the current frontier
+                pools: list[list[tuple[State, State]]] = []
+                for j, sort in enumerate(func.arg_sorts):
+                    if j < pivot:
+                        pools.append(order[sort][: starts[sort]])
+                    elif j == pivot:
+                        pools.append(
+                            order[sort][starts[sort] : ends[sort]]
+                        )
+                    else:
+                        pools.append(order[sort][: ends[sort]])
+                for pairs in itertools.product(*pools):
+                    encoded = tuple(
+                        index[s][p]
+                        for s, p in zip(func.arg_sorts, pairs)
+                    )
+                    transitions[(func.name, encoded)] = step(func, pairs)
+        frontier_start = ends
+
+    finals: set[tuple[State, ...]] = set()
+    for pairs in itertools.product(
+        *[order[s] for s in a.final_sorts]
+    ):
+        a_tuple = tuple(p[0] for p in pairs)
+        b_tuple = tuple(p[1] for p in pairs)
+        if combine(a_tuple in a.finals, b_tuple in b.finals):
+            finals.add(
+                tuple(
+                    index[s][p]
+                    for s, p in zip(a.final_sorts, pairs)
+                )
+            )
+    states = {s: max(len(order[s]), 1) for s in all_sorts}
+    return make_dfta(a.adts, states, transitions, finals, a.final_sorts)
+
+
+def dense_product(
+    left: DFTA,
+    right: DFTA,
+    combine: Callable[[bool, bool], bool],
+) -> DFTA:
+    """Reference product over the full cartesian state space.
+
+    Materializes both completions and every state pair; kept for the
+    property tests that pin :func:`product` to the textbook semantics.
+    """
+    _check_product_operands(left, right)
+    a, b = dense_complete(left), dense_complete(right)
     states: dict[Sort, int] = {}
     for sort in a.states:
         states[sort] = a.states[sort] * b.states.get(sort, 0)
@@ -147,14 +319,159 @@ def symmetric_difference(left: DFTA, right: DFTA) -> DFTA:
     return product(left, right, lambda x, y: x != y)
 
 
+# ----------------------------------------------------------------------
+# memoized emptiness — shared by equivalent / subset / model verification
+# ----------------------------------------------------------------------
+_EMPTY_CACHE: dict[tuple, bool] = {}
+_EMPTY_CACHE_LIMIT = 4096
+_EMPTY_CACHE_STATS = {"hits": 0, "misses": 0}
+
+
+# fingerprints are cached per DFTA object (automata are frozen), so a
+# repeated memoized query does not re-sort the full transition table
+_KEY_CACHE: dict[int, tuple] = {}
+
+
+def language_key(automaton: DFTA) -> tuple:
+    """A hashable fingerprint of the automaton's language data.
+
+    Two structurally identical automata (same constructor signature,
+    transition table, state counts, finals) define the same language,
+    so their emptiness verdict can be shared even across distinct
+    ``DFTA`` objects.  The signature component matters because the
+    cache is process-global: different problems may reuse sort and
+    constructor *names* with different arity/sort layouts.
+    """
+    cached = _KEY_CACHE.get(id(automaton))
+    if cached is not None and cached[0]() is automaton:
+        return cached[1]
+    signature = tuple(
+        sorted(
+            (
+                f.name,
+                tuple(s.name for s in f.arg_sorts),
+                f.result_sort.name,
+            )
+            for f in automaton.adts.signature.functions.values()
+        )
+    )
+    key = (
+        signature,
+        tuple(sorted((s.name, n) for s, n in automaton.states.items())),
+        tuple(sorted(automaton.transitions.items())),
+        tuple(sorted(automaton.finals)),
+        tuple(s.name for s in automaton.final_sorts),
+    )
+    try:
+        ref = weakref.ref(automaton)
+    except TypeError:
+        return key
+    if len(_KEY_CACHE) >= _EMPTY_CACHE_LIMIT:
+        for stale in [
+            i for i, (r, _) in _KEY_CACHE.items() if r() is None
+        ]:
+            del _KEY_CACHE[stale]
+        if len(_KEY_CACHE) >= _EMPTY_CACHE_LIMIT:
+            _KEY_CACHE.clear()
+    _KEY_CACHE[id(automaton)] = (ref, key)
+    return key
+
+
+def memoized(key: tuple, compute: Callable[[], bool]) -> bool:
+    """Look ``key`` up in the shared verdict cache, computing on miss.
+
+    One access path for every memoized language query (emptiness,
+    equivalence, inclusion, clause checks), so the eviction policy and
+    hit/miss accounting cannot drift apart between them.  The cache is
+    bounded and cleared wholesale when full; :func:`op_cache_info` /
+    :func:`clear_op_caches` expose it for tests and long-running
+    services.
+    """
+    hit = _EMPTY_CACHE.get(key)
+    if hit is not None:
+        _EMPTY_CACHE_STATS["hits"] += 1
+        return hit
+    _EMPTY_CACHE_STATS["misses"] += 1
+    if len(_EMPTY_CACHE) >= _EMPTY_CACHE_LIMIT:
+        _EMPTY_CACHE.clear()
+    result = compute()
+    _EMPTY_CACHE[key] = result
+    return result
+
+
+def cached_is_empty(automaton: DFTA) -> bool:
+    """Memoized :meth:`DFTA.is_empty`.
+
+    Verification asks the same emptiness queries over and over (each
+    clause of a system against the same candidate invariants), so the
+    verdicts are cached by structural fingerprint.
+    """
+    return memoized(
+        ("empty", language_key(automaton)), automaton.is_empty
+    )
+
+
+def op_cache_info() -> dict[str, int]:
+    """Hit/miss/size counters of the shared emptiness cache."""
+    return {
+        "hits": _EMPTY_CACHE_STATS["hits"],
+        "misses": _EMPTY_CACHE_STATS["misses"],
+        "size": len(_EMPTY_CACHE),
+        "fingerprints": len(_KEY_CACHE),
+    }
+
+
+def clear_op_caches() -> None:
+    """Drop the shared verdict and fingerprint caches."""
+    _EMPTY_CACHE.clear()
+    _KEY_CACHE.clear()
+    _EMPTY_CACHE_STATS["hits"] = 0
+    _EMPTY_CACHE_STATS["misses"] = 0
+
+
+def _cached_product_empty(
+    tag: str,
+    left: DFTA,
+    right: DFTA,
+    combine: Callable[[bool, bool], bool],
+) -> bool:
+    """Product emptiness memoized on the *operand* fingerprints.
+
+    Keying on the operands (rather than the built product) means a
+    repeated query skips the product construction itself — the dominant
+    cost — and keeps cache keys small.
+    """
+    return memoized(
+        (tag, language_key(left), language_key(right)),
+        lambda: product(left, right, combine).is_empty(),
+    )
+
+
+def language_universal(automaton: DFTA) -> bool:
+    """Whether the automaton accepts *every* tuple (complement empty).
+
+    Memoized on the operand fingerprint, so repeated queries (e.g. the
+    verifier re-checking the same fact clause) skip the complement
+    construction, not just the emptiness fixpoint.
+    """
+    return memoized(
+        ("univ", language_key(automaton)),
+        lambda: complement(automaton).is_empty(),
+    )
+
+
 def equivalent(left: DFTA, right: DFTA) -> bool:
     """Language equivalence via symmetric-difference emptiness."""
-    return symmetric_difference(left, right).is_empty()
+    return _cached_product_empty(
+        "equiv", left, right, lambda x, y: x != y
+    )
 
 
 def subset(left: DFTA, right: DFTA) -> bool:
     """Language inclusion ``L(left) ⊆ L(right)``."""
-    return difference(left, right).is_empty()
+    return _cached_product_empty(
+        "subset", left, right, lambda x, y: x and not y
+    )
 
 
 def trim(automaton: DFTA) -> DFTA:

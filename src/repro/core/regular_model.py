@@ -20,12 +20,20 @@ from typing import Optional
 
 from repro.automata.dfta import DFTA
 from repro.automata.from_model import model_to_automata
-from repro.chc.clauses import CHCSystem
+from repro.automata.ops import (
+    difference,
+    intersection,
+    language_key,
+    language_universal,
+    memoized,
+)
+from repro.chc.clauses import CHCSystem, Clause
 from repro.chc.semantics import ClauseViolation, check_model_bounded
 from repro.chc.transform import diseq_symbol, is_diseq_symbol
 from repro.logic.adt import ADTSystem
+from repro.logic.formulas import TRUE
 from repro.logic.sorts import PredSymbol
-from repro.logic.terms import Term
+from repro.logic.terms import Term, Var
 from repro.mace.model import FiniteModel
 
 
@@ -70,7 +78,9 @@ class RegularModel:
         return self.member(pred, terms)
 
     # ------------------------------------------------------------------
-    def verify_exact(self, preprocessed: CHCSystem) -> bool:
+    def verify_exact(
+        self, preprocessed: CHCSystem, *, use_automata: bool = True
+    ) -> bool:
         """Decidable inductiveness check on the constraint-free system.
 
         Evaluated over the constructor-reachable substructure of the
@@ -78,8 +88,82 @@ class RegularModel:
         Herbrand quantification, so this check is sound and complete for
         Herbrand satisfaction of the induced relations — including the
         quantifier-alternating clauses of the STLC case study.
+
+        With ``use_automata`` (the default), clauses whose atoms all
+        range over one shared tuple of distinct variables are decided on
+        the automata view instead: ``P1(x̄) ∧ ... ∧ Pn(x̄) → Q(x̄)`` holds
+        in the Herbrand interpretation iff ``⋂ L(A_Pi) ⊆ L(A_Q)``
+        (Theorem 1), checked with the sparse product and the shared
+        memoized emptiness cache.  The remaining clauses fall back to
+        the finite-model evaluation.
         """
-        return self.finite_model.satisfies(preprocessed, herbrand=True)
+        if not use_automata:
+            return self.finite_model.satisfies(preprocessed, herbrand=True)
+        residual: list[Clause] = []
+        for cl in preprocessed.clauses:
+            verdict = self._clause_via_automata(cl)
+            if verdict is False:
+                return False
+            if verdict is None:
+                residual.append(cl)
+        if not residual:
+            return True
+        filtered = CHCSystem(
+            preprocessed.adts, dict(preprocessed.predicates)
+        )
+        filtered.extend(residual)
+        return self.finite_model.satisfies(filtered, herbrand=True)
+
+    def _clause_via_automata(self, cl: Clause) -> Optional[bool]:
+        """Decide one clause via language inclusion, if it has the shape.
+
+        Returns ``None`` when the clause does not fit (nested terms,
+        universal blocks, mismatched or repeated variable tuples) and
+        must be evaluated on the finite model instead.
+        """
+        if cl.constraint != TRUE:
+            return None
+        atoms = list(cl.body) + ([cl.head] if cl.head is not None else [])
+        if not atoms:
+            return False  # ⊥ ← ⊤: no interpretation satisfies it
+        for atom in atoms:
+            if getattr(atom, "universal_vars", ()):
+                return None
+            if not all(isinstance(t, Var) for t in atom.args):
+                return None
+        shared = atoms[0].args
+        if len(set(shared)) != len(shared):
+            return None
+        if any(atom.args != shared for atom in atoms[1:]):
+            return None
+        try:
+            body_autos = [self.automata[a.pred] for a in cl.body]
+            head_auto = (
+                self.automata[cl.head.pred] if cl.head is not None else None
+            )
+        except KeyError:
+            return None
+        if not body_autos:
+            assert head_auto is not None
+            return language_universal(head_auto)
+        # the whole clause verdict is memoized on the operand
+        # fingerprints, so a repeat query (the Herbrand-retry loop,
+        # campaign re-verification) skips the product chain entirely
+        key = (
+            "clause",
+            tuple(language_key(a) for a in body_autos),
+            language_key(head_auto) if head_auto is not None else None,
+        )
+
+        def check() -> bool:
+            inter = body_autos[0]
+            for nxt in body_autos[1:]:
+                inter = intersection(inter, nxt)
+            if head_auto is None:
+                return inter.is_empty()
+            return difference(inter, head_auto).is_empty()
+
+        return memoized(key, check)
 
     def verify_bounded(
         self, original: CHCSystem, *, max_height: int = 3

@@ -28,12 +28,23 @@ from repro.chc.transform import is_diseq_symbol, preprocess
 from repro.core.cex import search_counterexample
 from repro.core.regular_model import RegularModel
 from repro.core.result import SolveResult, Status, sat, unknown, unsat
-from repro.mace.finder import find_model
+from repro.mace.finder import FinderStats, ModelFinder
 
 
 @dataclass
 class RInGenConfig:
-    """Tuning knobs of the pipeline (all have benchmark-friendly defaults)."""
+    """Tuning knobs of the pipeline (all have benchmark-friendly defaults).
+
+    ``incremental`` selects the shared-state model-finding engine (one
+    CDCL solver spanning the whole size sweep, clauses guarded by
+    existence selectors); switching it off re-encodes every size vector
+    from scratch — kept for the ablation benchmark.
+    ``max_learned_clauses`` bounds the learned-clause database the
+    incremental engine carries across size vectors.
+    ``automata_verification`` lets the exact Herbrand check decide
+    variable-only clauses on the automata view (sparse products plus the
+    memoized emptiness cache) instead of enumerating the finite model.
+    """
 
     max_model_size: int = 12
     cex_start_height: int = 2
@@ -44,6 +55,9 @@ class RInGenConfig:
     verify_height: int = 3
     verify: bool = True
     timeout: Optional[float] = None
+    incremental: bool = True
+    max_learned_clauses: Optional[int] = 20_000
+    automata_verification: bool = True
 
 
 class RInGen:
@@ -94,33 +108,40 @@ class RInGen:
         # quantifier-alternating systems with junk elements), the search
         # resumes at the next size vector.
         predicates = list(prepared.predicates.values())
+        # One ModelFinder spans every resumption of the sweep: with the
+        # incremental engine, a model that fails the Herbrand check below
+        # resumes the search at the next size with all encoding and
+        # learned clauses intact instead of starting over.
+        finder = ModelFinder(
+            prepared,
+            max_total_size=cfg.max_model_size,
+            symmetry_breaking=cfg.symmetry_breaking,
+            max_conflicts_per_size=cfg.max_conflicts_per_size,
+            incremental=cfg.incremental,
+            max_learned_clauses=cfg.max_learned_clauses,
+        )
+        finder_stats = FinderStats(incremental=cfg.incremental)
         min_size = 0
-        attempts = 0
         while True:
-            remaining = None
-            if deadline is not None:
-                remaining = max(deadline - time.monotonic(), 0.01)
-            finder_result = find_model(
-                prepared,
-                max_total_size=cfg.max_model_size,
-                timeout=remaining,
-                symmetry_breaking=cfg.symmetry_breaking,
-                max_conflicts_per_size=cfg.max_conflicts_per_size,
-                min_total_size=min_size,
+            finder_result = finder.search(
+                min_total_size=min_size, deadline=deadline
             )
-            attempts += finder_result.stats.attempts
+            _accumulate(finder_stats, finder_result.stats)
             if finder_result.model is None:
                 result = unknown(
                     self.name,
                     "no finite model within the size/time budget",
                 )
                 result.elapsed = time.monotonic() - start
-                result.details["attempts"] = attempts
+                result.details["attempts"] = finder_stats.attempts
+                result.details["finder"] = finder_stats.as_dict()
                 return result
             model = RegularModel.from_finite_model(
                 prepared.adts, finder_result.model, predicates
             )
-            if cfg.verify and not model.verify_exact(prepared):
+            if cfg.verify and not model.verify_exact(
+                prepared, use_automata=cfg.automata_verification
+            ):
                 min_size = finder_result.model.size() + 1
                 if min_size > cfg.max_model_size:
                     result = unknown(
@@ -128,6 +149,7 @@ class RInGen:
                         "models found but none passes the Herbrand check",
                     )
                     result.elapsed = time.monotonic() - start
+                    result.details["finder"] = finder_stats.as_dict()
                     return result
                 continue
             break
@@ -146,8 +168,23 @@ class RInGen:
         result = sat(self.name, model)
         result.elapsed = time.monotonic() - start
         result.details["model_size"] = model.size()
-        result.details["finder_attempts"] = attempts
+        result.details["finder_attempts"] = finder_stats.attempts
+        result.details["finder"] = finder_stats.as_dict()
         return result
+
+
+def _accumulate(total: FinderStats, part: FinderStats) -> None:
+    """Fold one search call's statistics into the per-solve totals."""
+    total.attempts += part.attempts
+    total.sat_vars = max(total.sat_vars, part.sat_vars)
+    total.sat_clauses = max(total.sat_clauses, part.sat_clauses)
+    total.elapsed += part.elapsed
+    total.model_size = part.model_size
+    total.clauses_encoded += part.clauses_encoded
+    total.clauses_reused += part.clauses_reused
+    total.learned_total += part.learned_total
+    total.learned_kept = part.learned_kept
+    total.solver_resets += part.solver_resets
 
 
 def solve(

@@ -102,6 +102,44 @@ def campaign_report(
         sections.append("_no models found_")
     sections.append("")
 
+    # model finder engine statistics (incremental CDCL reuse)
+    finder_rows = [
+        (record, record.details["finder"])
+        for record in campaign.records
+        if record.solver == "ringen" and "finder" in record.details
+    ]
+    if finder_rows:
+        sections.append("## Model finder — incremental engine")
+        sections.append("")
+        encoded = sum(f["clauses_encoded"] for _, f in finder_rows)
+        reused = sum(f["clauses_reused"] for _, f in finder_rows)
+        learned_total = sum(f["learned_total"] for _, f in finder_rows)
+        learned_kept = sum(f["learned_kept"] for _, f in finder_rows)
+        attempts = sum(f["attempts"] for _, f in finder_rows)
+        resets = sum(f["solver_resets"] for _, f in finder_rows)
+        incremental_runs = sum(
+            1 for _, f in finder_rows if f["incremental"]
+        )
+        denominator = encoded + reused
+        reuse_pct = (100.0 * reused / denominator) if denominator else 0.0
+        sections.append(
+            markdown_table(
+                ["metric", "value"],
+                [
+                    ["runs with finder stats", len(finder_rows)],
+                    ["incremental runs", incremental_runs],
+                    ["size vectors attempted", attempts],
+                    ["clauses encoded", encoded],
+                    ["clauses reused across vectors", reused],
+                    ["reuse ratio", f"{reuse_pct:.1f}%"],
+                    ["learned clauses derived", learned_total],
+                    ["learned clauses kept at end", learned_kept],
+                    ["engine resets", resets],
+                ],
+            )
+        )
+        sections.append("")
+
     # per-problem appendix: everything any solver answered
     sections.append("## Appendix — solved problems")
     sections.append("")

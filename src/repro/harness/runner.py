@@ -59,6 +59,9 @@ class RunRecord:
     correct: bool
     model_size: Optional[int] = None
     reason: str = ""
+    # solver-reported extras (e.g. the model finder's incremental-engine
+    # statistics under "finder"), surfaced by the report generator
+    details: dict = field(default_factory=dict)
 
     @property
     def solved(self) -> bool:
@@ -200,6 +203,7 @@ def run_problem(
         correct,
         model_size,
         result.reason,
+        dict(result.details),
     )
 
 

@@ -15,10 +15,54 @@ candidate with
 and solve with the in-repo CDCL solver.  A SAT answer decodes into a
 :class:`~repro.mace.model.FiniteModel`; the caller then converts it to a
 tree automaton (Theorem 1) to obtain a regular Herbrand model (Theorem 5).
+
+Incremental engine (the selector-literal encoding)
+--------------------------------------------------
+
+Consecutive size vectors share almost all of their ground encoding, so by
+default one persistent :class:`~repro.sat.solver.CDCLSolver` spans the
+whole sweep instead of being rebuilt per vector.  Size-dependence is
+expressed through *existence selectors*: for every sort ``s`` and index
+``v`` a literal ``ex[s, v]`` reads "element ``v`` of sort ``s`` exists".
+The selectors form a prefix chain (``ex[s, v] -> ex[s, v-1]``; ``ex[s, 0]``
+is a unit fact), so a candidate vector ``k`` is selected purely through
+assumptions: ``ex[s, k_s - 1]`` and ``-ex[s, k_s]`` pin the active domain
+of each sort to exactly ``{0 .. k_s - 1}``.  Size-dependent clauses are
+guarded so that they are vacuous outside the vectors they describe:
+
+* *cells*: functionality (pairwise at-most-one) and value-existence
+  (``F[f, args, v] -> ex[s, v]``) clauses are valid for every size and
+  carry no guard; the totality (at-least-one) row for a cell is guarded
+  by ``-ex`` literals on the argument elements (inactive cells are
+  don't-care) plus the positive frontier literal ``ex[s, K]`` for the
+  codomain bound ``K`` it was emitted at, so growing a sort's domain just
+  re-emits that one row wider while everything else is reused;
+* *ground CHC instances*: guarded by ``-ex`` literals on the instance's
+  element values, so an instance emitted once binds for every vector
+  that contains those elements;
+* *universal blocks*: per-instance Tseitin literals are forced true for
+  inactive instantiations (``ex[s, u] \\/ t_inst``) and the block
+  conjunction carries frontier guards, so the same block literal is
+  correct at every active size;
+* *symmetry breaking*: the least-constant cuts are unit clauses valid at
+  every size and are emitted once per new element.
+
+Growing a sort's domain therefore only adds the new cells', instances'
+and block rows' clauses, while learned clauses, VSIDS activity and saved
+phases carry across the entire sweep (solved with
+``solver.solve(assumptions=...)``).
+
+The engine *resets* (discarding the solver and re-encoding from scratch)
+in exactly two situations: when the caller asks for the from-scratch
+ablation (``incremental=False`` — a reset before every vector), and as a
+safety valve when the shared clause database derives a level-0
+contradiction, which would otherwise bleed an UNSAT verdict into every
+later size vector.  Both show up in :class:`FinderStats.solver_resets`.
 """
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 import time
 from dataclasses import dataclass, field
@@ -29,7 +73,7 @@ from repro.logic.formulas import TRUE
 from repro.logic.sorts import FuncSymbol, PredSymbol, Sort
 from repro.logic.terms import App, Term, Var
 from repro.mace.model import FiniteModel, validate_model
-from repro.sat.cnf import exactly_one
+from repro.sat.cnf import SelectorPool
 from repro.sat.solver import CDCLSolver
 
 
@@ -124,13 +168,32 @@ def flatten_clause(cl: Clause, counter: itertools.count) -> FlatClause:
 
 @dataclass
 class FinderStats:
-    """Search statistics across attempted size vectors."""
+    """Search statistics across attempted size vectors.
+
+    ``clauses_encoded`` counts clauses handed to the SAT solver during
+    this search, while ``clauses_reused`` sums, over all attempts, the
+    clauses that were already in the solver when the attempt started —
+    the quantity the incremental engine exists to maximise.
+    ``learned_total`` counts conflict clauses derived during the search
+    and ``learned_kept`` the learned clauses still alive (carried across
+    attempts) when it ended.
+    """
 
     attempts: int = 0
     sat_vars: int = 0
     sat_clauses: int = 0
     elapsed: float = 0.0
     model_size: Optional[int] = None
+    clauses_encoded: int = 0
+    clauses_reused: int = 0
+    learned_total: int = 0
+    learned_kept: int = 0
+    solver_resets: int = 0
+    incremental: bool = True
+
+    def as_dict(self) -> dict:
+        """Plain-dict view for result details / JSON artifacts."""
+        return dataclasses.asdict(self)
 
 
 @dataclass
@@ -165,8 +228,572 @@ def _compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
             yield (first, *rest)
 
 
+def _combos(
+    old: Optional[tuple[int, ...]], new: tuple[int, ...]
+) -> Iterator[tuple[int, ...]]:
+    """Tuples over ``prod(range(n) for n in new)`` not yet covered.
+
+    ``old is None`` means nothing was covered (yield the full space);
+    otherwise yield exactly the difference of the two boxes, enumerated
+    by the position of the first component that escapes the old box.
+    """
+    if old is None:
+        yield from itertools.product(*[range(n) for n in new])
+        return
+    for pivot in range(len(new)):
+        if new[pivot] <= old[pivot]:
+            continue
+        pools: list[range] = []
+        for j in range(len(new)):
+            if j < pivot:
+                pools.append(range(old[j]))
+            elif j == pivot:
+                pools.append(range(old[j], new[j]))
+            else:
+                pools.append(range(new[j]))
+        yield from itertools.product(*pools)
+
+
+@dataclass
+class _BlockState:
+    """Persistent encoding state of one universal-block Tseitin literal."""
+
+    atom: FlatAtom
+    outer: dict[Var, int]
+    t: int
+    t_insts: dict[tuple[int, ...], int] = field(default_factory=dict)
+    done_u: Optional[tuple[int, ...]] = None
+    done_l: Optional[tuple[int, ...]] = None
+
+
+class _IncrementalEngine:
+    """One persistent CDCL encoding spanning the whole size sweep.
+
+    See the module docstring for the selector-literal scheme.  The engine
+    owns the solver, the cell/relation variable maps and the growth
+    bookkeeping; :class:`ModelFinder` drives it one size vector at a
+    time through :meth:`try_vector`.
+    """
+
+    def __init__(self, finder: "ModelFinder"):
+        self.finder = finder
+        self._folded_added = 0
+        self._folded_learned = 0
+        self._tick_count = 0
+        self._constants: dict[Sort, list[FuncSymbol]] = {
+            s: [
+                f
+                for f in finder.functions
+                if f.result_sort == s and f.arity == 0
+            ]
+            for s in finder.sorts
+        }
+        self._fresh()
+
+    # -- lifecycle ---------------------------------------------------------
+    def _fresh(self) -> None:
+        finder = self.finder
+        self.solver = CDCLSolver()
+        self.selectors = SelectorPool(self.solver)
+        self.cur: dict[Sort, int] = {s: 0 for s in finder.sorts}
+        # nested variable tables: one symbol hash to reach a table keyed
+        # by cheap int tuples (the encode loops are hash-bound otherwise)
+        self.func_vars: dict[
+            FuncSymbol, dict[tuple[tuple[int, ...], int], int]
+        ] = {f: {} for f in finder.functions}
+        self.pred_vars: dict[
+            PredSymbol, dict[tuple[int, ...], int]
+        ] = {p: {} for p in finder.predicates}
+        # existence selectors per sort, indexed by element: _ex_rows[s][v]
+        self._ex_rows: dict[Sort, list[int]] = {
+            s: [] for s in finder.sorts
+        }
+        # per function: (arg-space sizes, codomain size) already encoded
+        self._func_done: dict[
+            FuncSymbol, tuple[tuple[int, ...], int]
+        ] = {}
+        # per flat clause: variable-space sizes already instantiated
+        self._clause_done: list[Optional[tuple[int, ...]]] = [
+            None for _ in finder.flat_clauses
+        ]
+        self._sb_done: dict[Sort, int] = {s: 0 for s in finder.sorts}
+        self._blocks: list[_BlockState] = []
+        # positional layouts per block atom (tables are solver-scoped,
+        # so the cache resets with the engine)
+        self._atom_layouts: dict[int, tuple] = {}
+        self._ok = True
+        self.hopeless = False
+
+    def reset(self, stats: FinderStats) -> None:
+        """Discard the shared solver state and start over."""
+        stats.solver_resets += 1
+        self._folded_added += self.solver.stats.clauses_added
+        self._folded_learned += self.solver.stats.learned
+        self._fresh()
+
+    @property
+    def total_added(self) -> int:
+        return self._folded_added + self.solver.stats.clauses_added
+
+    @property
+    def total_learned(self) -> int:
+        return self._folded_learned + self.solver.stats.learned
+
+    # -- small helpers -----------------------------------------------------
+    def _add(self, literals: list[int]) -> None:
+        self._ok &= self.solver.add_clause(literals)
+
+    def _tick(self) -> bool:
+        """Deadline poll for the encoding loops; False = give up."""
+        self._tick_count += 1
+        deadline = self.finder.deadline
+        if (
+            deadline is not None
+            and self._tick_count % 2048 == 0
+            and time.monotonic() > deadline
+        ):
+            return False
+        return True
+
+    def _ex(self, sort: Sort, v: int) -> int:
+        """Existence selector ``ex[sort, v]`` with its chain clause."""
+        row = self._ex_rows[sort]
+        while len(row) <= v:
+            lit = self.selectors.selector(("ex", sort, len(row)))
+            if not row:
+                self._add([lit])  # every sort is inhabited
+            else:
+                self._add([-lit, row[-1]])  # prefix chain
+            row.append(lit)
+        return row[v]
+
+    def _fvar(self, f: FuncSymbol, args: tuple[int, ...], val: int) -> int:
+        table = self.func_vars[f]
+        key = (args, val)
+        var = table.get(key)
+        if var is None:
+            var = self.solver.new_var()
+            table[key] = var
+        return var
+
+    def _pvar(self, p: PredSymbol, args: tuple[int, ...]) -> int:
+        table = self.pred_vars[p]
+        var = table.get(args)
+        if var is None:
+            var = self.solver.new_var()
+            table[args] = var
+        return var
+
+    # -- growth ------------------------------------------------------------
+    def ensure(self, sizes: dict[Sort, int]) -> Optional[bool]:
+        """Grow the encoding so every sort covers ``sizes``.
+
+        Returns ``None`` when the deadline expired mid-encoding (the
+        encoding stays consistent — already-emitted clauses are valid —
+        but ``cur`` is not advanced).
+        """
+        finder = self.finder
+        new = {s: max(self.cur[s], sizes[s]) for s in finder.sorts}
+        if new == self.cur:
+            return True
+        for s in finder.sorts:
+            self._ex(s, new[s])  # frontier + chain up front
+        if self._encode_cells(new) is None:
+            return None
+        self._encode_symmetry(new)
+        for block in list(self._blocks):
+            if self._grow_block(block, new) is None:
+                return None
+        if self._encode_clauses(new) is None:
+            return None
+        self.cur = new
+        return self._ok
+
+    def _encode_cells(self, new: dict[Sort, int]) -> Optional[bool]:
+        for func in self.finder.functions:
+            res = func.result_sort
+            new_cod = new[res]
+            arg_sizes = tuple(new[s] for s in func.arg_sorts)
+            done = self._func_done.get(func)
+            old_args, old_cod = done if done else (None, 0)
+            table = self.func_vars[func]
+            res_row = self._ex_rows[res]
+            arg_rows = [self._ex_rows[s] for s in func.arg_sorts]
+            new_var = self.solver.new_var
+
+            def cell_vars(args: tuple[int, ...]) -> list[int]:
+                cell = []
+                for v in range(new_cod):
+                    key = (args, v)
+                    var = table.get(key)
+                    if var is None:
+                        var = new_var()
+                        table[key] = var
+                    cell.append(var)
+                return cell
+
+            def emit_rows(args: tuple[int, ...], lo: int) -> None:
+                """Functionality, value-existence and totality rows."""
+                cell = cell_vars(args)
+                for j in range(lo, new_cod):
+                    for i in range(j):
+                        self._add([-cell[i], -cell[j]])
+                    if j >= 1:
+                        self._add([-cell[j], res_row[j]])
+                literals = [
+                    -arg_rows[i][a]
+                    for i, a in enumerate(args)
+                    if a >= 1
+                ]
+                literals.append(res_row[new_cod])  # frontier guard
+                literals.extend(cell)
+                self._add(literals)
+
+            for args in _combos(old_args, arg_sizes):
+                if not self._tick():
+                    return None
+                emit_rows(args, 0)
+            if done is not None and new_cod > old_cod:
+                for args in itertools.product(
+                    *[range(n) for n in old_args]
+                ):
+                    if not self._tick():
+                        return None
+                    emit_rows(args, old_cod)
+            self._func_done[func] = (arg_sizes, new_cod)
+        return self._ok
+
+    def _encode_symmetry(self, new: dict[Sort, int]) -> None:
+        """Least-number constraints on base constructors per sort.
+
+        The i-th constant (in name order) of a sort may only take values
+        ``0..i`` — a sound canonicity cut for constants (Claessen &
+        Sörensson's least-number heuristic restricted to constants).
+        The units are valid at every domain size, so they are emitted
+        once per new element and shared by the whole sweep.
+        """
+        if not self.finder.symmetry_breaking:
+            return
+        for sort in self.finder.sorts:
+            done, size = self._sb_done[sort], new[sort]
+            if size <= done:
+                continue
+            for i, c in enumerate(self._constants[sort]):
+                for v in range(max(i + 1, done), size):
+                    self._add([-self._fvar(c, (), v)])
+            self._sb_done[sort] = size
+
+    def _encode_clauses(self, new: dict[Sort, int]) -> Optional[bool]:
+        for idx, flat in enumerate(self.finder.flat_clauses):
+            var_sizes = tuple(new[v.sort] for v in flat.vars)
+            old = self._clause_done[idx]
+            if old == var_sizes:
+                continue
+            # precomputed layout: positions instead of Var-keyed dicts,
+            # so the grounding loop only touches int tuples
+            index = {v: i for i, v in enumerate(flat.vars)}
+            ex_rows = [self._ex_rows[v.sort] for v in flat.vars]
+            defs = [
+                (
+                    self.func_vars[func],
+                    tuple(index[a] for a in arg_vars),
+                    index[result],
+                )
+                for func, arg_vars, result in flat.defs
+            ]
+            plain = []
+            block_atoms = []
+            for atom in flat.body:
+                if atom.universal_vars:
+                    block_atoms.append(atom)
+                else:
+                    plain.append(
+                        (
+                            self.pred_vars[atom.pred],
+                            tuple(index[v] for v in atom.vars),
+                        )
+                    )
+            head = None
+            if flat.head is not None:
+                head = (
+                    self.pred_vars[flat.head.pred],
+                    tuple(index[v] for v in flat.head.vars),
+                )
+            new_var = self.solver.new_var
+            # blocks created past this point belong to instances whose
+            # clause index has not committed yet (``_clause_done``); on
+            # a deadline abort they are dropped so a resumed sweep does
+            # not keep growing orphans for combos it will re-emit
+            blocks_committed = len(self._blocks)
+            for combo in _combos(old, var_sizes):
+                if not self._tick():
+                    del self._blocks[blocks_committed:]
+                    return None
+                literals: list[int] = []
+                for i, c in enumerate(combo):
+                    if c:
+                        literals.append(-ex_rows[i][c])
+                for table, apos, rpos in defs:
+                    key = (
+                        tuple(combo[j] for j in apos),
+                        combo[rpos],
+                    )
+                    var = table.get(key)
+                    if var is None:
+                        var = new_var()
+                        table[key] = var
+                    literals.append(-var)
+                for atom in block_atoms:
+                    block = _BlockState(
+                        atom,
+                        {v: combo[i] for v, i in index.items()},
+                        new_var(),
+                    )
+                    self._blocks.append(block)
+                    if self._grow_block(block, new) is None:
+                        del self._blocks[blocks_committed:]
+                        return None
+                    literals.append(-block.t)
+                for table, apos in plain:
+                    args = tuple(combo[j] for j in apos)
+                    var = table.get(args)
+                    if var is None:
+                        var = new_var()
+                        table[args] = var
+                    literals.append(-var)
+                if head is not None:
+                    table, apos = head
+                    args = tuple(combo[j] for j in apos)
+                    var = table.get(args)
+                    if var is None:
+                        var = new_var()
+                        table[args] = var
+                    literals.append(var)
+                self._add(literals)
+            self._clause_done[idx] = var_sizes
+        return self._ok
+
+    # -- universal blocks --------------------------------------------------
+    def _grow_block(
+        self, block: _BlockState, new: dict[Sort, int]
+    ) -> Optional[bool]:
+        """(Re-)encode one universal block up to the ``new`` sizes.
+
+        ``t`` is implied by the truth of the whole universal block over
+        the *active* elements, so a negated ``t`` in a ground clause
+        soundly asserts the block fails.  Per instantiation ``u`` of the
+        block's universal variables a literal ``t_inst`` is forced true
+        when ``u`` is inactive and implied by ``defs /\\ P(args)`` for
+        every choice of block-local intermediate values; the guarded
+        conjunction ``(/\\ t_inst) -> t`` is re-emitted wider whenever a
+        universal sort grows (the old row is vacuous beyond its frontier
+        guard).
+        """
+        atom = block.atom
+        u_sizes = tuple(new[v.sort] for v in atom.universal_vars)
+        l_sizes = tuple(new[v.sort] for v in atom.local_vars)
+        grew_u = block.done_u != u_sizes
+        for ucombo in _combos(block.done_u, u_sizes):
+            if not self._tick():
+                return None
+            t_inst = self.solver.new_var()
+            block.t_insts[ucombo] = t_inst
+            for v, u in zip(atom.universal_vars, ucombo):
+                if u >= 1:
+                    # inactive instantiations hold vacuously
+                    self._add([self._ex(v.sort, u), t_inst])
+            if self._emit_premises(block, ucombo, None, l_sizes) is None:
+                return None
+        if block.done_u is not None and block.done_l != l_sizes:
+            for ucombo in itertools.product(
+                *[range(n) for n in block.done_u]
+            ):
+                if (
+                    self._emit_premises(
+                        block, ucombo, block.done_l, l_sizes
+                    )
+                    is None
+                ):
+                    return None
+        if grew_u:
+            literals = [
+                self._ex(s, new[s])
+                for s in dict.fromkeys(
+                    v.sort for v in atom.universal_vars
+                )
+            ]
+            literals.extend(-ti for ti in block.t_insts.values())
+            literals.append(block.t)
+            self._add(literals)
+        block.done_u, block.done_l = u_sizes, l_sizes
+        return True
+
+    def _block_layout(self, atom: FlatAtom):
+        """Positional layout of a block atom, computed once per atom.
+
+        Variables are resolved to ("l", i) / ("u", i) / ("o", var)
+        slots so the innermost grounding loop only touches int tuples
+        (same optimization as the plain-clause grounding loop).
+        """
+        layout = self._atom_layouts.get(id(atom))
+        if layout is None:
+            uindex = {v: i for i, v in enumerate(atom.universal_vars)}
+            lindex = {v: i for i, v in enumerate(atom.local_vars)}
+
+            def pos(v: Var):
+                if v in lindex:
+                    return ("l", lindex[v])
+                if v in uindex:
+                    return ("u", uindex[v])
+                return ("o", v)
+
+            defs = [
+                (
+                    self.func_vars[func],
+                    tuple(pos(a) for a in arg_vars),
+                    pos(result),
+                )
+                for func, arg_vars, result in atom.local_defs
+            ]
+            layout = (
+                defs,
+                self.pred_vars[atom.pred],
+                tuple(pos(v) for v in atom.vars),
+            )
+            self._atom_layouts[id(atom)] = layout
+        return layout
+
+    def _emit_premises(
+        self,
+        block: _BlockState,
+        ucombo: tuple[int, ...],
+        old_l: Optional[tuple[int, ...]],
+        l_sizes: tuple[int, ...],
+    ) -> Optional[bool]:
+        t_inst = block.t_insts[ucombo]
+        defs, ptable, arg_slots = self._block_layout(block.atom)
+        outer = block.outer
+        new_var = self.solver.new_var
+        lcombo: tuple[int, ...] = ()
+
+        def value(slot) -> int:
+            kind, x = slot
+            if kind == "l":
+                return lcombo[x]
+            if kind == "u":
+                return ucombo[x]
+            return outer[x]
+
+        for lcombo in _combos(old_l, l_sizes):
+            if not self._tick():
+                return None
+            premise: list[int] = []
+            for table, arg_pos, res_pos in defs:
+                key = (
+                    tuple(value(p) for p in arg_pos),
+                    value(res_pos),
+                )
+                var = table.get(key)
+                if var is None:
+                    var = new_var()
+                    table[key] = var
+                premise.append(var)
+            args = tuple(value(p) for p in arg_slots)
+            var = ptable.get(args)
+            if var is None:
+                var = new_var()
+                ptable[args] = var
+            premise.append(var)
+            self._add([-p for p in premise] + [t_inst])
+        return True
+
+    # -- solving -----------------------------------------------------------
+    def try_vector(
+        self, sizes: dict[Sort, int], stats: FinderStats
+    ) -> Optional[FiniteModel]:
+        # same counter family as clauses_encoded (accepted add_clause
+        # calls incl. units), so the reuse ratio compares like with like
+        pre_added = self.solver.stats.clauses_added
+        grown = self.ensure(sizes)
+        if grown is None:
+            return None  # deadline hit mid-encoding
+        if not self._ok:
+            # Level-0 contradiction in the shared database: it can no
+            # longer discriminate between size vectors, so rebuild for
+            # just this one (the documented reset safety valve).
+            self.reset(stats)
+            pre_added = 0
+            if self.ensure(sizes) is None:
+                return None
+            if not self._ok:
+                # A fresh encoding is contradictory without assumptions.
+                # Every clause is valid at every size, so the conflict is
+                # size-independent: no vector can ever succeed.
+                self.hopeless = True
+                return None
+        stats.clauses_reused += pre_added
+        limit = self.finder.max_learned_clauses
+        if limit is not None and len(self.solver.learned_clauses) > limit:
+            self.solver.reduce_learned(limit // 2)
+        assumptions: list[int] = []
+        for s in self.finder.sorts:
+            k = sizes[s]
+            if k >= 2:
+                assumptions.append(self._ex(s, k - 1))
+            assumptions.append(-self._ex(s, k))
+        outcome = self.solver.solve(
+            assumptions,
+            max_conflicts=self.finder.max_conflicts,
+            deadline=self.finder.deadline,
+        )
+        stats.sat_vars = max(stats.sat_vars, self.solver.num_vars)
+        stats.sat_clauses = max(stats.sat_clauses, len(self.solver.clauses))
+        if not outcome:
+            return None
+        return self._decode(sizes, self.solver.model())
+
+    def _decode(
+        self, sizes: dict[Sort, int], assignment: dict[int, bool]
+    ) -> FiniteModel:
+        functions: dict[FuncSymbol, dict[tuple[int, ...], int]] = {}
+        for f, table in self.func_vars.items():
+            res_size = sizes[f.result_sort]
+            arg_sizes = [sizes[s] for s in f.arg_sorts]
+            for (args, v), var in table.items():
+                if v >= res_size:
+                    continue
+                if any(a >= k for a, k in zip(args, arg_sizes)):
+                    continue
+                if assignment.get(var):
+                    functions.setdefault(f, {})[args] = v
+        predicates: dict[PredSymbol, set[tuple[int, ...]]] = {
+            p: set() for p in self.finder.predicates
+        }
+        for p, table in self.pred_vars.items():
+            arg_sizes = [sizes[s] for s in p.arg_sorts]
+            for args, var in table.items():
+                if any(a >= k for a, k in zip(args, arg_sizes)):
+                    continue
+                if assignment.get(var):
+                    predicates[p].add(args)
+        model = FiniteModel(dict(sizes), functions, predicates)
+        validate_model(model)
+        return model
+
+
+_UNSET = object()
+
+
 class ModelFinder:
-    """Iterative-deepening finite model search for one CHC system."""
+    """Iterative-deepening finite model search for one CHC system.
+
+    With ``incremental=True`` (the default) the finder keeps one
+    :class:`_IncrementalEngine` alive across every :meth:`search` call,
+    so repeated searches (e.g. resuming at a larger minimum size after a
+    failed Herbrand check) also reuse the encoding and learned clauses.
+    ``incremental=False`` resets the engine before every size vector —
+    the from-scratch behaviour, kept for the ablation benchmark.
+    """
 
     def __init__(
         self,
@@ -177,6 +804,8 @@ class ModelFinder:
         symmetry_breaking: bool = True,
         deadline: Optional[float] = None,
         min_total_size: int = 0,
+        incremental: bool = True,
+        max_learned_clauses: Optional[int] = 20_000,
     ):
         self.system = system
         self.max_total_size = max_total_size
@@ -184,6 +813,8 @@ class ModelFinder:
         self.max_conflicts = max_conflicts_per_size
         self.symmetry_breaking = symmetry_breaking
         self.deadline = deadline
+        self.incremental = incremental
+        self.max_learned_clauses = max_learned_clauses
         counter = itertools.count()
         self.flat_clauses = [
             flatten_clause(cl, counter) for cl in system.clauses
@@ -195,207 +826,58 @@ class ModelFinder:
             system.predicates.values(), key=lambda p: p.name
         )
         self.sorts = sorted(system.adts.sorts, key=lambda s: s.name)
+        self._engine: Optional[_IncrementalEngine] = None
 
     # ------------------------------------------------------------------
-    def search(self) -> FinderResult:
-        """Try size vectors in order of total size until a model appears."""
-        stats = FinderStats()
+    def search(
+        self,
+        *,
+        min_total_size: Optional[int] = None,
+        deadline: object = _UNSET,
+    ) -> FinderResult:
+        """Try size vectors in order of total size until a model appears.
+
+        ``min_total_size`` applies to this call only.  Passing
+        ``deadline`` *replaces* the finder's deadline from here on
+        (callers resuming a sweep supply a fresh budget each call while
+        the engine keeps its state); omit it to keep the current one.
+        """
+        if deadline is not _UNSET:
+            self.deadline = deadline  # type: ignore[assignment]
+        min_total = (
+            self.min_total_size if min_total_size is None else min_total_size
+        )
+        if self._engine is None:
+            self._engine = _IncrementalEngine(self)
+        engine = self._engine
+        stats = FinderStats(incremental=self.incremental)
+        base_added = engine.total_added
+        base_learned = engine.total_learned
         start = time.monotonic()
+
+        def finish(model: Optional[FiniteModel]) -> FinderResult:
+            stats.elapsed = time.monotonic() - start
+            stats.clauses_encoded = engine.total_added - base_added
+            stats.learned_total = engine.total_learned - base_learned
+            stats.learned_kept = len(engine.solver.learned_clauses)
+            if model is not None:
+                stats.model_size = model.size()
+            return FinderResult(model, stats)
+
         for sizes in size_vectors(
-            self.sorts, self.max_total_size, self.min_total_size
+            self.sorts, self.max_total_size, min_total
         ):
             if self.deadline is not None and time.monotonic() > self.deadline:
                 break
             stats.attempts += 1
-            model = self._try_sizes(sizes, stats)
+            if not self.incremental:
+                engine.reset(stats)
+            model = engine.try_vector(sizes, stats)
             if model is not None:
-                stats.elapsed = time.monotonic() - start
-                stats.model_size = model.size()
-                return FinderResult(model, stats)
-        stats.elapsed = time.monotonic() - start
-        return FinderResult(None, stats)
-
-    # ------------------------------------------------------------------
-    def _try_sizes(
-        self, sizes: dict[Sort, int], stats: FinderStats
-    ) -> Optional[FiniteModel]:
-        solver = CDCLSolver()
-        func_vars: dict[tuple[FuncSymbol, tuple[int, ...], int], int] = {}
-        pred_vars: dict[tuple[PredSymbol, tuple[int, ...]], int] = {}
-
-        def fvar(f: FuncSymbol, args: tuple[int, ...], val: int) -> int:
-            key = (f, args, val)
-            var = func_vars.get(key)
-            if var is None:
-                var = solver.new_var()
-                func_vars[key] = var
-            return var
-
-        def pvar(p: PredSymbol, args: tuple[int, ...]) -> int:
-            key = (p, args)
-            var = pred_vars.get(key)
-            if var is None:
-                var = solver.new_var()
-                pred_vars[key] = var
-            return var
-
-        ok = True
-        # totality + functionality of every function cell
-        for f in self.functions:
-            pools = [range(sizes[s]) for s in f.arg_sorts]
-            codomain = range(sizes[f.result_sort])
-            for args in itertools.product(*pools):
-                cell = [fvar(f, args, v) for v in codomain]
-                for clause in exactly_one(cell):
-                    ok &= solver.add_clause(clause)
-        if self.symmetry_breaking:
-            ok &= self._break_symmetry(solver, sizes, fvar)
-        for flat in self.flat_clauses:
-            encoded = self._encode_clause(flat, sizes, solver, fvar, pvar)
-            if encoded is None:
-                return None  # deadline hit mid-encoding
-            ok &= encoded
-            if not ok:
-                break
-        if not ok:
-            return None
-        outcome = solver.solve(
-            max_conflicts=self.max_conflicts, deadline=self.deadline
-        )
-        stats.sat_vars = max(stats.sat_vars, solver.num_vars)
-        stats.sat_clauses = max(
-            stats.sat_clauses, len(solver.clauses)
-        )
-        if not outcome:
-            return None
-        assignment = solver.model()
-        return self._decode(sizes, func_vars, pred_vars, assignment)
-
-    # ------------------------------------------------------------------
-    def _break_symmetry(self, solver, sizes, fvar) -> bool:
-        """Least-number constraints on base constructors per sort.
-
-        The i-th constant (in name order) of a sort may only take values
-        ``0..i`` — a sound canonicity cut for constants (Claessen &
-        Sörensson's least-number heuristic restricted to constants).
-        """
-        ok = True
-        for sort in self.sorts:
-            constants = [
-                f
-                for f in self.functions
-                if f.result_sort == sort and f.arity == 0
-            ]
-            for i, c in enumerate(constants):
-                for v in range(i + 1, sizes[sort]):
-                    ok &= solver.add_clause([-fvar(c, (), v)])
-        return ok
-
-    # ------------------------------------------------------------------
-    def _encode_clause(
-        self, flat: FlatClause, sizes, solver, fvar, pvar
-    ) -> Optional[bool]:
-        """Ground one flattened clause over all variable assignments.
-
-        Returns ``None`` when the deadline expires mid-grounding.
-        """
-        ok = True
-        pools = [range(sizes[v.sort]) for v in flat.vars]
-        index = {v: i for i, v in enumerate(flat.vars)}
-        instances = 0
-        for combo in itertools.product(*pools):
-            instances += 1
-            if (
-                self.deadline is not None
-                and instances % 4096 == 0
-                and time.monotonic() > self.deadline
-            ):
-                return None
-
-            def val(v: Var) -> int:
-                return combo[index[v]]
-
-            literals: list[int] = []
-            consistent = True
-            for func, arg_vars, result in flat.defs:
-                args = tuple(val(a) for a in arg_vars)
-                literals.append(-fvar(func, args, val(result)))
-            for atom in flat.body:
-                if atom.universal_vars:
-                    lit = self._universal_block_lit(
-                        atom, combo, index, sizes, solver, fvar, pvar
-                    )
-                    literals.append(-lit)
-                else:
-                    args = tuple(val(v) for v in atom.vars)
-                    literals.append(-pvar(atom.pred, args))
-            if flat.head is not None:
-                args = tuple(val(v) for v in flat.head.vars)
-                literals.append(pvar(flat.head.pred, args))
-            if consistent:
-                ok &= solver.add_clause(literals)
-            if not ok:
-                return False
-        return ok
-
-    # ------------------------------------------------------------------
-    def _universal_block_lit(
-        self, atom: FlatAtom, combo, index, sizes, solver, fvar, pvar
-    ) -> int:
-        """Tseitin literal ``t`` with ``t <- block``.
-
-        ``t`` is implied by the truth of the whole universal block, so a
-        negated ``t`` in a ground clause soundly asserts the block fails.
-        For each instantiation of the block's universal variables and each
-        choice of block-local intermediate values, we add
-        ``defs /\\ P(args) -> t_inst`` and ``(/\\ t_inst) -> t``.
-        """
-        t = solver.new_var()
-        inst_lits: list[int] = []
-        upools = [range(sizes[v.sort]) for v in atom.universal_vars]
-        for ucombo in itertools.product(*upools):
-            t_inst = solver.new_var()
-            inst_lits.append(t_inst)
-            lpools = [range(sizes[v.sort]) for v in atom.local_vars]
-            lindex = {v: i for i, v in enumerate(atom.local_vars)}
-            uindex = {v: i for i, v in enumerate(atom.universal_vars)}
-
-            for lcombo in itertools.product(*lpools):
-
-                def val(v: Var) -> int:
-                    if v in lindex:
-                        return lcombo[lindex[v]]
-                    if v in uindex:
-                        return ucombo[uindex[v]]
-                    return combo[index[v]]
-
-                premise: list[int] = []
-                for func, arg_vars, result in atom.local_defs:
-                    args = tuple(val(a) for a in arg_vars)
-                    premise.append(fvar(func, args, val(result)))
-                args = tuple(val(v) for v in atom.vars)
-                premise.append(pvar(atom.pred, args))
-                solver.add_clause([-p for p in premise] + [t_inst])
-        solver.add_clause([-l for l in inst_lits] + [t])
-        return t
-
-    # ------------------------------------------------------------------
-    def _decode(
-        self, sizes, func_vars, pred_vars, assignment
-    ) -> FiniteModel:
-        functions: dict[FuncSymbol, dict[tuple[int, ...], int]] = {}
-        for (f, args, v), var in func_vars.items():
-            if assignment.get(var):
-                functions.setdefault(f, {})[args] = v
-        predicates: dict[PredSymbol, set[tuple[int, ...]]] = {
-            p: set() for p in self.predicates
-        }
-        for (p, args), var in pred_vars.items():
-            if assignment.get(var):
-                predicates[p].add(args)
-        model = FiniteModel(dict(sizes), functions, predicates)
-        validate_model(model)
-        return model
+                return finish(model)
+            if engine.hopeless:
+                break  # size-independent contradiction: no model exists
+        return finish(None)
 
 
 def find_model(
@@ -406,6 +888,8 @@ def find_model(
     symmetry_breaking: bool = True,
     max_conflicts_per_size: Optional[int] = 200_000,
     min_total_size: int = 0,
+    incremental: bool = True,
+    max_learned_clauses: Optional[int] = 20_000,
 ) -> FinderResult:
     """Search for a finite model of a constraint-free CHC system."""
     deadline = None if timeout is None else time.monotonic() + timeout
@@ -416,5 +900,7 @@ def find_model(
         symmetry_breaking=symmetry_breaking,
         deadline=deadline,
         min_total_size=min_total_size,
+        incremental=incremental,
+        max_learned_clauses=max_learned_clauses,
     )
     return finder.search()

@@ -1,10 +1,64 @@
-"""CNF utilities: encodings and DIMACS I/O used by the model finder."""
+"""CNF utilities: encodings, selector literals and DIMACS I/O."""
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Sequence, TextIO
+from typing import Hashable, Iterable, Iterator, Optional, Sequence, TextIO
 
-from repro.sat.solver import SatError
+from repro.sat.solver import CDCLSolver, SatError
+
+
+class SelectorPool:
+    """Push-style allocation of selector (guard) literals.
+
+    Assumption-based incrementality in the Eén–Sörensson style: instead
+    of retracting clauses, a clause group is guarded by a selector
+    literal ``s`` — the clause ``C`` is stored as ``¬s ∨ C`` (built by
+    :meth:`guard`), which is vacuous unless ``s`` is assumed true.  A
+    :meth:`CDCLSolver.solve` call then "pushes" a context by passing the
+    active selectors as assumptions; popping is free because nothing was
+    ever deleted, and learned clauses mentioning selectors stay valid
+    for every future context.
+
+    Selectors are allocated lazily per hashable key, so callers address
+    them by meaning (e.g. ``("ex", sort, k)`` — "element ``k`` of
+    ``sort`` exists") rather than by raw variable number.
+    """
+
+    def __init__(self, solver: CDCLSolver):
+        self._solver = solver
+        self._by_key: dict[Hashable, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._by_key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._by_key
+
+    def selector(self, key: Hashable) -> int:
+        """The selector literal for ``key``, allocating on first use."""
+        lit = self._by_key.get(key)
+        if lit is None:
+            lit = self._solver.new_var()
+            self._by_key[key] = lit
+        return lit
+
+    def peek(self, key: Hashable) -> Optional[int]:
+        """The selector for ``key`` if already allocated, else ``None``."""
+        return self._by_key.get(key)
+
+    def guard(
+        self, literals: Iterable[int], *keys: Hashable
+    ) -> list[int]:
+        """``¬s1 ∨ ... ∨ ¬sn ∨ C``: clause active only under all keys."""
+        return [-self.selector(k) for k in keys] + list(literals)
+
+    def assumptions(
+        self, on: Iterable[Hashable] = (), off: Iterable[Hashable] = ()
+    ) -> list[int]:
+        """Assumption literals activating ``on`` and deactivating ``off``."""
+        return [self.selector(k) for k in on] + [
+            -self.selector(k) for k in off
+        ]
 
 
 def at_most_one(literals: Sequence[int]) -> Iterator[list[int]]:

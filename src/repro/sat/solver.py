@@ -32,13 +32,24 @@ class SatError(ValueError):
 
 @dataclass
 class SatStats:
-    """Counters reported by :meth:`CDCLSolver.solve`."""
+    """Counters reported by :meth:`CDCLSolver.solve`.
+
+    All counters are cumulative over the solver's lifetime; incremental
+    callers (the model finder's size sweep) snapshot them between calls
+    to attribute work to individual :meth:`CDCLSolver.solve` calls.
+    ``clauses_added`` counts problem clauses accepted by
+    :meth:`CDCLSolver.add_clause` (including units that were immediately
+    propagated rather than stored), so reused-vs-newly-encoded clause
+    accounting survives level-0 simplification.
+    """
 
     decisions: int = 0
     propagations: int = 0
     conflicts: int = 0
     restarts: int = 0
     learned: int = 0
+    clauses_added: int = 0
+    solve_calls: int = 0
 
 
 def _luby(i: int) -> int:
@@ -64,11 +75,19 @@ class CDCLSolver:
         self._phase: list[bool] = [False]
         self._activity: list[float] = [0.0]
         self._watches: dict[int, list[list[int]]] = {}
+        # VSIDS order heap: binary max-heap on activity with a position
+        # index, so decisions cost O(log n) instead of a linear scan
+        self._heap: list[int] = []
+        self._heap_pos: list[int] = [-1]
         self._trail: list[int] = []
         self._trail_lim: list[int] = []
         self._queue_head = 0
         self._var_inc = 1.0
         self._var_decay = 0.95
+        # globally valid unit facts learned while solving under
+        # assumptions; pinned at level 0 by the next solve() call so
+        # they survive the backtrack that clears assumption levels
+        self._pending_units: list[int] = []
         self._ok = True
         if num_vars:
             self.new_vars(num_vars)
@@ -81,15 +100,72 @@ class CDCLSolver:
         self._reason.append(None)
         self._phase.append(False)
         self._activity.append(0.0)
+        self._heap_pos.append(-1)
+        self._heap_insert(self.num_vars)
         self._watches[self.num_vars] = []
         self._watches[-self.num_vars] = []
         return self.num_vars
+
+    # -- VSIDS order heap --------------------------------------------------
+    def _heap_swap(self, i: int, j: int) -> None:
+        heap, pos = self._heap, self._heap_pos
+        heap[i], heap[j] = heap[j], heap[i]
+        pos[heap[i]], pos[heap[j]] = i, j
+
+    def _heap_up(self, i: int) -> None:
+        heap, act = self._heap, self._activity
+        while i > 0:
+            parent = (i - 1) >> 1
+            if act[heap[i]] <= act[heap[parent]]:
+                break
+            self._heap_swap(i, parent)
+            i = parent
+
+    def _heap_down(self, i: int) -> None:
+        heap, act = self._heap, self._activity
+        size = len(heap)
+        while True:
+            left = 2 * i + 1
+            if left >= size:
+                break
+            best = left
+            right = left + 1
+            if right < size and act[heap[right]] > act[heap[left]]:
+                best = right
+            if act[heap[best]] <= act[heap[i]]:
+                break
+            self._heap_swap(i, best)
+            i = best
+
+    def _heap_insert(self, var: int) -> None:
+        if self._heap_pos[var] != -1:
+            return
+        self._heap.append(var)
+        self._heap_pos[var] = len(self._heap) - 1
+        self._heap_up(len(self._heap) - 1)
+
+    def _heap_pop(self) -> int:
+        heap = self._heap
+        top = heap[0]
+        last = heap.pop()
+        self._heap_pos[top] = -1
+        if heap:
+            heap[0] = last
+            self._heap_pos[last] = 0
+            self._heap_down(0)
+        return top
 
     def new_vars(self, count: int) -> list[int]:
         return [self.new_var() for _ in range(count)]
 
     def add_clause(self, literals: Iterable[int]) -> bool:
-        """Add a clause; returns False if the formula became trivially unsat."""
+        """Add a clause; returns False if the formula became trivially unsat.
+
+        Safe to call between :meth:`solve` calls (incremental use): any
+        decision-level assignment left over from a previous answer is
+        undone first, so level-0 simplification and unit propagation only
+        ever see permanent facts.
+        """
         seen: set[int] = set()
         clause: list[int] = []
         for lit in literals:
@@ -106,6 +182,9 @@ class CDCLSolver:
             clause.append(lit)
         if not self._ok:
             return False
+        if self._trail_lim:
+            self._backtrack(0)
+        self.stats.clauses_added += 1
         if not clause:
             self._ok = False
             return False
@@ -162,13 +241,21 @@ class CDCLSolver:
         return True
 
     def _propagate(self) -> Optional[list[int]]:
-        """Unit propagation; returns a conflicting clause or None."""
-        while self._queue_head < len(self._trail):
-            lit = self._trail[self._queue_head]
+        """Unit propagation; returns a conflicting clause or None.
+
+        The hot loop of the solver: literal values are computed inline
+        on locally aliased arrays rather than through :meth:`_value`,
+        which measurably matters at the model finder's clause volumes.
+        """
+        assign = self._assign
+        watches = self._watches
+        trail = self._trail
+        while self._queue_head < len(trail):
+            lit = trail[self._queue_head]
             self._queue_head += 1
             self.stats.propagations += 1
             falsified = -lit
-            watchers = self._watches[falsified]
+            watchers = watches[falsified]
             new_watchers: list[list[int]] = []
             conflict: Optional[list[int]] = None
             for idx, clause in enumerate(watchers):
@@ -179,22 +266,32 @@ class CDCLSolver:
                     clause[0], clause[1] = clause[1], clause[0]
                 # clause[1] == falsified now (or clause was restructured)
                 first = clause[0]
-                if self._value(first) == TRUE_VAL:
+                val = assign[first] if first > 0 else -assign[-first]
+                if val == TRUE_VAL:
                     new_watchers.append(clause)
                     continue
                 moved = False
                 for k in range(2, len(clause)):
-                    if self._value(clause[k]) != FALSE_VAL:
-                        clause[1], clause[k] = clause[k], clause[1]
-                        self._watches[clause[1]].append(clause)
+                    other = clause[k]
+                    oval = assign[other] if other > 0 else -assign[-other]
+                    if oval != FALSE_VAL:
+                        clause[1], clause[k] = other, clause[1]
+                        watches[other].append(clause)
                         moved = True
                         break
                 if moved:
                     continue
                 new_watchers.append(clause)
-                if not self._enqueue(first, clause):
+                if val == FALSE_VAL:
                     conflict = clause
-            self._watches[falsified] = new_watchers
+                else:  # first was unassigned: imply it (inlined _enqueue)
+                    var = first if first > 0 else -first
+                    assign[var] = TRUE_VAL if first > 0 else FALSE_VAL
+                    self._level[var] = len(self._trail_lim)
+                    self._reason[var] = clause
+                    self._phase[var] = first > 0
+                    trail.append(first)
+            watches[falsified] = new_watchers
             if conflict is not None:
                 return conflict
         return None
@@ -253,6 +350,9 @@ class CDCLSolver:
             for v in range(1, self.num_vars + 1):
                 self._activity[v] *= 1e-100
             self._var_inc *= 1e-100
+            # uniform rescaling preserves the heap order
+        if self._heap_pos[var] != -1:
+            self._heap_up(self._heap_pos[var])
 
     def _decay(self) -> None:
         self._var_inc /= self._var_decay
@@ -265,20 +365,17 @@ class CDCLSolver:
             var = abs(lit)
             self._assign[var] = UNASSIGNED
             self._reason[var] = None
+            self._heap_insert(var)
         del self._trail[limit:]
         del self._trail_lim[level:]
         self._queue_head = len(self._trail)
 
     def _decide(self) -> Optional[int]:
-        best_var = 0
-        best_act = -1.0
-        for var in range(1, self.num_vars + 1):
-            if self._assign[var] == UNASSIGNED and self._activity[var] > best_act:
-                best_var = var
-                best_act = self._activity[var]
-        if best_var == 0:
-            return None
-        return best_var if self._phase[best_var] else -best_var
+        while self._heap:
+            var = self._heap_pop()
+            if self._assign[var] == UNASSIGNED:
+                return var if self._phase[var] else -var
+        return None
 
     # -- main loop -------------------------------------------------------------
     def solve(
@@ -292,11 +389,27 @@ class CDCLSolver:
 
         Returns True (sat), False (unsat), or None if ``max_conflicts`` or
         the wall-clock ``deadline`` was exhausted (both are used by the
-        model finder's per-size budgets).
+        model finder's per-size budgets).  ``max_conflicts`` is a *per
+        call* budget: each call measures conflicts relative to its own
+        start, so an incremental caller issuing many calls against one
+        solver gives every call the same allowance.  Learned clauses,
+        VSIDS activity and saved phases all persist across calls, which
+        is what makes assumption-based incremental solving pay off.
         """
+        self.stats.solve_calls += 1
+        call_conflicts_start = self.stats.conflicts
         if not self._ok:
             return False
         self._backtrack(0)
+        # units learned under assumptions are implied by the clause
+        # database alone (assumptions are never resolved on), so they
+        # become permanent level-0 facts here
+        for lit in self._pending_units:
+            if self._value(lit) == FALSE_VAL:
+                self._ok = False
+                return False
+            self._enqueue(lit, None)
+        self._pending_units.clear()
         conflict = self._propagate()
         if conflict is not None:
             self._ok = False
@@ -326,7 +439,11 @@ class CDCLSolver:
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflicts_here += 1
-                if max_conflicts is not None and self.stats.conflicts > max_conflicts:
+                if (
+                    max_conflicts is not None
+                    and self.stats.conflicts - call_conflicts_start
+                    > max_conflicts
+                ):
                     self._backtrack(0)
                     return None
                 if len(self._trail_lim) == base_level:
@@ -335,6 +452,9 @@ class CDCLSolver:
                 self._backtrack(max(back_level, base_level))
                 if len(learned) == 1:
                     self._backtrack(base_level)
+                    if base_level > 0:
+                        # keep the fact beyond this call (see solve())
+                        self._pending_units.append(learned[0])
                     if not self._enqueue(learned[0], None):
                         return False
                 else:
@@ -356,6 +476,37 @@ class CDCLSolver:
             self.stats.decisions += 1
             self._trail_lim.append(len(self._trail))
             self._enqueue(decision, None)
+
+    def reduce_learned(self, keep: int) -> int:
+        """Garbage-collect the learned-clause database down to ``keep``.
+
+        Keeps the shortest learned clauses (they propagate the most) and
+        unhooks the rest from the watch lists.  Backtracks to level 0
+        first, where no learned clause is ever consulted as a reason
+        again, so removal cannot invalidate an in-flight analysis.
+        Returns the number of clauses dropped.  Incremental callers use
+        this between :meth:`solve` calls to bound propagation cost over
+        long solving sweeps.
+        """
+        if len(self.learned_clauses) <= keep:
+            return 0
+        self._backtrack(0)
+        self.learned_clauses.sort(key=len)
+        drop = self.learned_clauses[keep:]
+        dropped = set(map(id, drop))
+        self.learned_clauses = self.learned_clauses[:keep]
+        for lit, watchers in self._watches.items():
+            if watchers:
+                self._watches[lit] = [
+                    c for c in watchers if id(c) not in dropped
+                ]
+        # level-0 reasons are never analyzed; clear stale references so
+        # the dropped clauses can actually be collected
+        for v in range(1, self.num_vars + 1):
+            reason = self._reason[v]
+            if reason is not None and id(reason) in dropped:
+                self._reason[v] = None
+        return len(drop)
 
     def model(self) -> dict[int, bool]:
         """The satisfying assignment after a successful :meth:`solve`."""

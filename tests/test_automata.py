@@ -7,12 +7,18 @@ from hypothesis import given, settings, strategies as st
 
 from repro.automata.dfta import AutomatonError, DFTA, make_dfta
 from repro.automata.ops import (
+    cached_is_empty,
+    clear_op_caches,
     complement,
     complete,
+    dense_complete,
+    dense_product,
     difference,
     equivalent,
     intersection,
     minimize_1d,
+    op_cache_info,
+    product,
     subset,
     symmetric_difference,
     trim,
@@ -290,3 +296,151 @@ def test_minimize_is_idempotent(pa):
     again = minimize_1d(auto)
     assert again.states[NAT] == auto.states[NAT]
     assert equivalent(auto, again)
+
+
+# ----------------------------------------------------------------------
+# property tests: sparse constructions agree with the dense references
+# ----------------------------------------------------------------------
+def random_nat_automaton(data, label: str) -> DFTA:
+    """A random (possibly partial) 1-automaton over the Nat signature."""
+    n = data.draw(st.integers(min_value=1, max_value=3), label=f"{label}-n")
+    transitions = {}
+    if data.draw(st.booleans(), label=f"{label}-z"):
+        transitions[("Z", ())] = data.draw(
+            st.integers(min_value=0, max_value=n - 1), label=f"{label}-zt"
+        )
+    for q in range(n):
+        if data.draw(st.booleans(), label=f"{label}-s{q}"):
+            transitions[("S", (q,))] = data.draw(
+                st.integers(min_value=0, max_value=n - 1),
+                label=f"{label}-st{q}",
+            )
+    finals = [
+        (q,)
+        for q in range(n)
+        if data.draw(st.booleans(), label=f"{label}-f{q}")
+    ]
+    return make_dfta(NATS, {NAT: n}, transitions, finals, (NAT,))
+
+
+COMBINES = {
+    "and": lambda x, y: x and y,
+    "or": lambda x, y: x or y,
+    "diff": lambda x, y: x and not y,
+    "xor": lambda x, y: x != y,
+}
+
+
+@given(st.data())
+@settings(max_examples=120, deadline=None)
+def test_sparse_product_agrees_with_dense(data):
+    a = random_nat_automaton(data, "a")
+    b = random_nat_automaton(data, "b")
+    name = data.draw(st.sampled_from(sorted(COMBINES)), label="combine")
+    combine = COMBINES[name]
+    sparse = product(a, b, combine)
+    dense = dense_product(a, b, combine)
+    for n in range(9):
+        assert sparse.accepts(nat(n)) == dense.accepts(nat(n))
+    # sparse keeps only reachable pairs: never more states than dense
+    assert sparse.states[NAT] <= max(dense.states[NAT], 1)
+
+
+@given(st.data())
+@settings(max_examples=100, deadline=None)
+def test_sparse_complement_agrees_with_dense(data):
+    auto = random_nat_automaton(data, "a")
+    comp = complement(auto)
+    densely = dense_complete(auto)
+    dense_comp = make_dfta(
+        densely.adts,
+        densely.states,
+        densely.transitions,
+        [
+            (q,)
+            for q in range(densely.states[NAT])
+            if (q,) not in densely.finals
+        ],
+        densely.final_sorts,
+    )
+    for n in range(9):
+        assert comp.accepts(nat(n)) == (not auto.accepts(nat(n)))
+        assert comp.accepts(nat(n)) == dense_comp.accepts(nat(n))
+
+
+@given(st.data())
+@settings(max_examples=100, deadline=None)
+def test_copy_on_miss_complete_agrees_with_dense(data):
+    auto = random_nat_automaton(data, "a")
+    completed = complete(auto)
+    assert completed.is_complete()
+    for n in range(9):
+        assert completed.accepts(nat(n)) == auto.accepts(nat(n))
+
+
+class TestCompleteCopyOnMiss:
+    def test_complete_automaton_returned_unchanged(self):
+        auto = even_automaton(NATS)
+        assert complete(auto) is auto
+
+    def test_only_needed_sorts_gain_sinks(self):
+        # two sorts, complete A-part: completing the B rules must not
+        # add a sink to (or sweep) the untouched A sort
+        sa, sb = Sort("A"), Sort("B")
+        a0 = FuncSymbol("a0", (), sa)
+        a1 = FuncSymbol("a1", (sa,), sa)
+        b0 = FuncSymbol("b0", (), sb)
+        wrap = FuncSymbol("wrap", (sa,), sb)
+        adts = ADTSystem([ADT(sa, (a0, a1)), ADT(sb, (b0, wrap))])
+        partial = make_dfta(
+            adts,
+            {sa: 2, sb: 1},
+            {
+                ("a0", ()): 0,
+                ("a1", (0,)): 1,
+                ("a1", (1,)): 0,
+                ("b0", ()): 0,
+                ("wrap", (0,)): 0,
+                # ("wrap", (1,)) missing: only B needs a sink
+            },
+            [(0,)],
+            (sb,),
+        )
+        completed = complete(partial)
+        assert completed.is_complete()
+        assert completed.states[sb] == 2  # sink added
+        assert completed.states[sa] == 2  # untouched
+        a_term = App(a0)
+        assert completed.accepts(App(wrap, (a_term,)))
+        assert not completed.accepts(App(wrap, (App(a1, (a_term,)),)))
+
+
+class TestEmptinessCache:
+    def test_equivalent_and_subset_share_the_cache(self):
+        clear_op_caches()
+        a = mod_automaton(2, [0])
+        b = even_automaton(NATS)
+        assert equivalent(a, b)
+        first = op_cache_info()
+        assert first["misses"] >= 1
+        assert equivalent(a, b)
+        assert op_cache_info()["hits"] > first["hits"]
+        # subset on the same operands reuses the same cache object
+        before = op_cache_info()
+        assert subset(a, b) and subset(a, b)
+        after = op_cache_info()
+        assert after["hits"] > before["hits"]
+
+    def test_cached_is_empty_matches_is_empty(self):
+        clear_op_caches()
+        empty = make_dfta(
+            NATS,
+            {NAT: 2},
+            {("Z", ()): 0, ("S", (0,)): 0, ("S", (1,)): 1},
+            [(1,)],
+            (NAT,),
+        )
+        assert cached_is_empty(empty) == empty.is_empty() is True
+        assert cached_is_empty(empty)  # served from cache
+        info = op_cache_info()
+        assert info["hits"] >= 1 and info["size"] >= 1

@@ -23,7 +23,13 @@ from repro.mace.finder import (
     size_vectors,
 )
 from repro.mace.model import FiniteModel, ModelError, validate_model
-from repro.problems import even_system
+from repro.problems import (
+    diseq_zz_system,
+    even_system,
+    evenleft_system,
+    incdec_system,
+    odd_unsat_system,
+)
 
 NATS = nat_system()
 EVEN = PredSymbol("even", (NAT,))
@@ -205,6 +211,79 @@ class TestFinder:
         prepared = preprocess(diag_system())
         result = find_model(prepared, timeout=0.3, max_total_size=12)
         assert not result.found
+
+
+SEED_SUITES = {
+    "even": even_system,
+    "incdec": incdec_system,
+    "evenleft": evenleft_system,
+    "diseq_zz": diseq_zz_system,
+}
+_PREPARED = {
+    name: preprocess(factory()) for name, factory in SEED_SUITES.items()
+}
+
+
+class TestIncrementalEngine:
+    """The shared-state engine must be a pure optimization."""
+
+    @given(
+        st.sampled_from(sorted(_PREPARED)),
+        st.integers(min_value=4, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_incremental_matches_scratch_on_seed_suites(
+        self, name, max_total
+    ):
+        prepared = _PREPARED[name]
+        inc = find_model(
+            prepared, incremental=True, max_total_size=max_total
+        )
+        scr = find_model(
+            prepared, incremental=False, max_total_size=max_total
+        )
+        assert inc.found and scr.found
+        assert inc.model.size() == scr.model.size()
+        assert inc.model.satisfies(prepared)
+        assert scr.model.satisfies(prepared)
+
+    def test_unsat_verdicts_agree(self):
+        prepared = preprocess(odd_unsat_system())
+        inc = find_model(prepared, incremental=True, max_total_size=5)
+        scr = find_model(prepared, incremental=False, max_total_size=5)
+        assert not inc.found and not scr.found
+
+    def test_incremental_reuses_solver_state(self):
+        prepared = _PREPARED["incdec"]
+        inc = find_model(prepared, incremental=True)
+        scr = find_model(prepared, incremental=False)
+        # the whole point: carried clauses, strictly less re-encoding
+        assert inc.stats.clauses_reused > 0
+        assert inc.stats.clauses_encoded < scr.stats.clauses_encoded
+        assert inc.stats.solver_resets == 0
+        assert scr.stats.solver_resets == scr.stats.attempts
+        assert scr.stats.clauses_reused == 0
+
+    def test_search_resume_keeps_engine_state(self):
+        # resuming at a larger minimum size (the Herbrand-retry path)
+        # reuses the encoding instead of starting over
+        finder = ModelFinder(_PREPARED["incdec"])
+        first = finder.search()
+        assert first.found
+        resumed = finder.search(
+            min_total_size=first.model.size() + 1, deadline=None
+        )
+        assert resumed.found
+        assert resumed.model.size() > first.model.size()
+        assert resumed.stats.clauses_reused > 0
+        assert resumed.model.satisfies(_PREPARED["incdec"])
+
+    def test_finder_stats_as_dict_roundtrip(self):
+        result = find_model(_PREPARED["even"])
+        stats = result.stats.as_dict()
+        assert stats["model_size"] == result.model.size()
+        assert stats["incremental"] is True
+        assert stats["clauses_encoded"] > 0
 
 
 class TestTheorem1:

@@ -6,6 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sat.cnf import (
+    SelectorPool,
     at_most_one,
     exactly_one,
     from_dimacs,
@@ -120,6 +121,110 @@ class TestBasics:
         solver.add_clause([-1, 3])
         solver.solve()
         assert solver.stats.decisions >= 1
+        assert solver.stats.clauses_added == 2
+        assert solver.stats.solve_calls == 1
+
+
+def pigeonhole_clauses(holes: int):
+    """PHP(holes+1, holes): unsat, generates plenty of conflicts."""
+    pigeons = holes + 1
+
+    def v(i, j):
+        return i * holes + j + 1
+
+    clauses = [[v(i, j) for j in range(holes)] for i in range(pigeons)]
+    for j in range(holes):
+        for i1 in range(pigeons):
+            for i2 in range(i1 + 1, pigeons):
+                clauses.append([-v(i1, j), -v(i2, j)])
+    return clauses, pigeons * holes
+
+
+class TestIncrementalUse:
+    """One solver, many solve() calls: the model finder's usage pattern."""
+
+    def test_add_clause_between_solves(self):
+        solver = CDCLSolver(3)
+        solver.add_clause([1, 2])
+        assert solver.solve() is True
+        # the trail still holds the answer; adding a unit clause must
+        # backtrack first instead of mis-simplifying against it
+        solver.add_clause([-1])
+        solver.add_clause([-2, 3])
+        assert solver.solve() is True
+        model = solver.model()
+        assert model[1] is False and model[2] is True and model[3] is True
+
+    def test_unit_against_stale_assignment(self):
+        solver = CDCLSolver(2)
+        solver.add_clause([1, 2])
+        assert solver.solve() is True
+        forced = 1 if solver.model()[1] else 2
+        # force the opposite of what the previous answer chose
+        assert solver.add_clause([-forced]) is True
+        assert solver.solve() is True
+        assert solver.model()[forced] is False
+
+    def test_learned_clauses_persist_across_assumption_calls(self):
+        clauses, num_vars = pigeonhole_clauses(4)
+        solver = CDCLSolver(num_vars + 1)
+        sel = num_vars + 1
+        for clause in clauses:
+            solver.add_clause([-sel] + clause)  # guarded group
+        assert solver.solve(assumptions=[sel]) is False
+        learned_after_first = len(solver.learned_clauses)
+        assert solver.solve(assumptions=[sel]) is False
+        assert len(solver.learned_clauses) >= learned_after_first
+        # deactivated group: trivially satisfiable
+        assert solver.solve(assumptions=[-sel]) is True
+        assert solver.stats.solve_calls == 3
+
+    def test_max_conflicts_is_per_call(self):
+        clauses, num_vars = pigeonhole_clauses(5)
+        solver = CDCLSolver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve(max_conflicts=1) is None
+        # cumulative accounting would make every later call give up
+        # immediately; per-call budgets let a bigger one finish
+        assert solver.solve(max_conflicts=200_000) is False
+
+    def test_reduce_learned_keeps_solver_correct(self):
+        clauses, num_vars = pigeonhole_clauses(4)
+        solver = CDCLSolver(num_vars + 1)
+        sel = num_vars + 1
+        for clause in clauses:
+            solver.add_clause([-sel] + clause)
+        assert solver.solve(assumptions=[sel]) is False
+        assert len(solver.learned_clauses) > 4
+        dropped = solver.reduce_learned(4)
+        assert dropped > 0
+        assert len(solver.learned_clauses) == 4
+        assert solver.solve(assumptions=[sel]) is False
+        assert solver.solve(assumptions=[-sel]) is True
+
+
+class TestSelectorPool:
+    def test_selectors_are_stable_per_key(self):
+        solver = CDCLSolver()
+        pool = SelectorPool(solver)
+        s1 = pool.selector(("group", 1))
+        assert pool.selector(("group", 1)) == s1
+        assert pool.selector(("group", 2)) != s1
+        assert ("group", 1) in pool and len(pool) == 2
+        assert pool.peek(("group", 3)) is None
+
+    def test_guarded_group_activation(self):
+        solver = CDCLSolver(2)
+        pool = SelectorPool(solver)
+        solver.add_clause(pool.guard([1], "g1"))
+        solver.add_clause(pool.guard([-1], "g2"))
+        on_g1 = pool.assumptions(on=["g1"], off=["g2"])
+        assert solver.solve(on_g1) is True and solver.model()[1] is True
+        on_g2 = pool.assumptions(on=["g2"], off=["g1"])
+        assert solver.solve(on_g2) is True and solver.model()[1] is False
+        both = pool.assumptions(on=["g1", "g2"])
+        assert solver.solve(both) is False
 
 
 class TestEncodings:
