@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
-# Quick performance gate for the incremental model-finding engine.
+# Quick performance gates for the model-finding engine.
 #
-# Runs the incremental-vs-from-scratch ablation at quick scale, emits
-# BENCH_incremental.json at the repo root, and fails if
+# Gate 1 (PR 1): incremental-vs-from-scratch ablation; emits
+# BENCH_incremental.json and fails if
 #   * the two engines disagree on any verdict or model size, or
 #   * the incremental engine is more than 10% slower than from-scratch
 #     on the quick suite.
+#
+# Gate 2 (PR 2): campaign-vs-fresh-engine ablation over a
+# shared-signature batch; emits BENCH_campaign.json and fails if
+#   * statuses disagree,
+#   * campaign mode shows no cross-problem reuse, or
+#   * campaign mode is more than 10% slower than fresh engines.
 #
 # Usage: benchmarks/smoke.sh   (from anywhere; CI runs it as-is)
 set -euo pipefail
@@ -37,4 +43,31 @@ if inc > 1.10 * scr:
     sys.exit(f"FAIL: incremental engine {inc:.3f}s is >10% slower than "
              f"from-scratch {scr:.3f}s")
 print("OK: incremental engine within budget")
+EOF
+
+python benchmarks/bench_campaign.py
+
+python - <<'EOF'
+import json
+import sys
+
+with open("BENCH_campaign.json") as handle:
+    report = json.load(handle)
+totals = report["totals"]
+
+if not totals["all_agree"]:
+    sys.exit("FAIL: campaign and fresh-engine results disagree")
+if totals["cross_problem_clauses"] <= 0:
+    sys.exit("FAIL: campaign mode shows no cross-problem reuse")
+
+camp, fresh = totals["campaign_time"], totals["fresh_time"]
+print(f"campaign: {camp:.3f}s  fresh engines: {fresh:.3f}s  "
+      f"speedup: {totals.get('speedup', float('nan')):.2f}x")
+print(f"clauses encoded: {totals['campaign_clauses_encoded']} vs "
+      f"{totals['fresh_clauses_encoded']} "
+      f"(inherited {totals['cross_problem_clauses']})")
+if camp > 1.10 * fresh:
+    sys.exit(f"FAIL: campaign mode {camp:.3f}s is >10% slower than "
+             f"fresh engines {fresh:.3f}s")
+print("OK: campaign engine pool within budget")
 EOF

@@ -328,8 +328,14 @@ _EMPTY_CACHE_STATS = {"hits": 0, "misses": 0}
 
 
 # fingerprints are cached per DFTA object (automata are frozen), so a
-# repeated memoized query does not re-sort the full transition table
+# repeated memoized query does not re-sort the full transition table;
+# entries self-evict when their automaton is collected (the weakref
+# callback below), so a long campaign cannot accumulate dead entries
 _KEY_CACHE: dict[int, tuple] = {}
+
+
+def _evict_key(cache_id: int) -> None:
+    _KEY_CACHE.pop(cache_id, None)
 
 
 def language_key(automaton: DFTA) -> tuple:
@@ -362,18 +368,19 @@ def language_key(automaton: DFTA) -> tuple:
         tuple(sorted(automaton.finals)),
         tuple(s.name for s in automaton.final_sorts),
     )
+    cache_id = id(automaton)
     try:
-        ref = weakref.ref(automaton)
+        # the callback drops the entry the moment the automaton dies —
+        # without it, a dead entry lived until the same id() happened to
+        # be reused, a leak exactly in long multi-problem campaigns
+        ref = weakref.ref(
+            automaton, lambda _r, cache_id=cache_id: _evict_key(cache_id)
+        )
     except TypeError:
         return key
     if len(_KEY_CACHE) >= _EMPTY_CACHE_LIMIT:
-        for stale in [
-            i for i, (r, _) in _KEY_CACHE.items() if r() is None
-        ]:
-            del _KEY_CACHE[stale]
-        if len(_KEY_CACHE) >= _EMPTY_CACHE_LIMIT:
-            _KEY_CACHE.clear()
-    _KEY_CACHE[id(automaton)] = (ref, key)
+        _KEY_CACHE.clear()
+    _KEY_CACHE[cache_id] = (ref, key)
     return key
 
 

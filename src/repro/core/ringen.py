@@ -29,6 +29,7 @@ from repro.core.cex import search_counterexample
 from repro.core.regular_model import RegularModel
 from repro.core.result import SolveResult, Status, sat, unknown, unsat
 from repro.mace.finder import FinderStats, ModelFinder
+from repro.mace.pool import EnginePool
 
 
 @dataclass
@@ -44,6 +45,15 @@ class RInGenConfig:
     ``automata_verification`` lets the exact Herbrand check decide
     variable-only clauses on the automata view (sparse products plus the
     memoized emptiness cache) instead of enumerating the finite model.
+
+    Campaign knobs: ``engine_pool`` plugs a shared
+    :class:`~repro.mace.pool.EnginePool` into the model-finding phase,
+    so consecutive ``solve`` calls on signature-compatible systems reuse
+    one incremental engine (batch mode for the harness; requires
+    ``incremental``).  ``release_engines`` retires each problem's
+    activation selector from the pool once its solve finishes — the
+    default hygiene for long campaigns; switch it off to inspect
+    contexts afterwards.
     """
 
     max_model_size: int = 12
@@ -58,6 +68,8 @@ class RInGenConfig:
     incremental: bool = True
     max_learned_clauses: Optional[int] = 20_000
     automata_verification: bool = True
+    engine_pool: Optional[EnginePool] = None
+    release_engines: bool = True
 
 
 class RInGen:
@@ -111,15 +123,58 @@ class RInGen:
         # One ModelFinder spans every resumption of the sweep: with the
         # incremental engine, a model that fails the Herbrand check below
         # resumes the search at the next size with all encoding and
-        # learned clauses intact instead of starting over.
-        finder = ModelFinder(
-            prepared,
-            max_total_size=cfg.max_model_size,
-            symmetry_breaking=cfg.symmetry_breaking,
-            max_conflicts_per_size=cfg.max_conflicts_per_size,
-            incremental=cfg.incremental,
-            max_learned_clauses=cfg.max_learned_clauses,
+        # learned clauses intact instead of starting over.  In campaign
+        # mode the finder additionally rides the pool's shared engine for
+        # this signature, inheriting other problems' state.
+        pool = cfg.engine_pool
+        pooled = (
+            pool is not None
+            and cfg.incremental
+            and cfg.symmetry_breaking == pool.symmetry_breaking
         )
+        if pooled:
+            finder = pool.finder(
+                prepared,
+                max_total_size=cfg.max_model_size,
+                max_conflicts_per_size=cfg.max_conflicts_per_size,
+                max_learned_clauses=cfg.max_learned_clauses,
+            )
+        else:
+            finder = ModelFinder(
+                prepared,
+                max_total_size=cfg.max_model_size,
+                symmetry_breaking=cfg.symmetry_breaking,
+                max_conflicts_per_size=cfg.max_conflicts_per_size,
+                incremental=cfg.incremental,
+                max_learned_clauses=cfg.max_learned_clauses,
+            )
+        try:
+            result = self._model_search(
+                system, prepared, finder, predicates, deadline, start
+            )
+        finally:
+            if pooled and cfg.release_engines:
+                pool.release(finder)
+        if pooled:
+            result.details["engine_pool"] = {
+                "pooled": True,
+                "cross_problem_clauses": result.details.get(
+                    "finder", {}
+                ).get("cross_problem_clauses", 0),
+            }
+        return result
+
+    def _model_search(
+        self,
+        system: CHCSystem,
+        prepared: CHCSystem,
+        finder: ModelFinder,
+        predicates: list,
+        deadline: Optional[float],
+        start: float,
+    ) -> SolveResult:
+        """Phase 2 body: drive the finder, verify models, build results."""
+        cfg = self.config
         finder_stats = FinderStats(incremental=cfg.incremental)
         min_size = 0
         while True:
@@ -185,6 +240,10 @@ def _accumulate(total: FinderStats, part: FinderStats) -> None:
     total.learned_total += part.learned_total
     total.learned_kept = part.learned_kept
     total.solver_resets += part.solver_resets
+    total.engine_shared = total.engine_shared or part.engine_shared
+    total.cross_problem_clauses = max(
+        total.cross_problem_clauses, part.cross_problem_clauses
+    )
 
 
 def solve(

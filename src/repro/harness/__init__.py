@@ -5,6 +5,7 @@ from repro.harness.runner import (
     REPRESENTATION_ROW,
     RunRecord,
     SOLVER_ORDER,
+    batch_order,
     make_solver,
     run_campaign,
     run_problem,
@@ -23,6 +24,7 @@ from repro.harness.tables import (
 
 __all__ = [
     "Campaign",
+    "batch_order",
     "campaign_report",
     "markdown_table",
     "REPRESENTATION_ROW",

@@ -140,6 +140,34 @@ def campaign_report(
         )
         sections.append("")
 
+    # campaign batch mode: cross-problem engine sharing
+    if campaign.pool_stats is not None:
+        sections.append("## Campaign engine pool — cross-problem reuse")
+        sections.append("")
+        pool = campaign.pool_stats
+        pooled_runs = sum(
+            1 for _, f in finder_rows if f.get("engine_shared")
+        )
+        sections.append(
+            markdown_table(
+                ["metric", "value"],
+                [
+                    ["problems through the pool", pool.get("problems", 0)],
+                    ["runs on a shared engine", pooled_runs],
+                    ["engines created", pool.get("engines_created", 0)],
+                    ["warm-engine hits", pool.get("engine_hits", 0)],
+                    [
+                        "cross-problem clauses inherited",
+                        pool.get("cross_problem_clauses", 0),
+                    ],
+                    ["engines recycled", pool.get("engine_recycles", 0)],
+                    ["engines evicted", pool.get("engines_evicted", 0)],
+                    ["problems released", pool.get("released", 0)],
+                ],
+            )
+        )
+        sections.append("")
+
     # per-problem appendix: everything any solver answered
     sections.append("## Appendix — solved problems")
     sections.append("")

@@ -14,8 +14,10 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.benchgen.suite import Problem, Suite
+from repro.chc.transform import preprocess
 from repro.core.result import SolveResult, Status
 from repro.core.ringen import RInGen, RInGenConfig
+from repro.mace.pool import EnginePool, signature_fingerprint
 from repro.solvers.elem import ElemConfig, ElemSolver
 from repro.solvers.induct import InductConfig, InductSolver
 from repro.solvers.sizeelem import SizeElemConfig, SizeElemSolver
@@ -33,10 +35,18 @@ REPRESENTATION_ROW = {
 }
 
 
-def make_solver(name: str, timeout: float):
-    """Instantiate a solver under its Table 1 alias."""
+def make_solver(
+    name: str, timeout: float, *, engine_pool: Optional[EnginePool] = None
+):
+    """Instantiate a solver under its Table 1 alias.
+
+    ``engine_pool`` (campaign batch mode) only concerns RInGen — the
+    baselines have no incremental engine to share and ignore it.
+    """
     if name == "ringen":
-        return RInGen(RInGenConfig(timeout=timeout))
+        return RInGen(
+            RInGenConfig(timeout=timeout, engine_pool=engine_pool)
+        )
     if name == "eldarica":
         return SizeElemSolver(SizeElemConfig(timeout=timeout))
     if name == "spacer":
@@ -74,6 +84,9 @@ class Campaign:
 
     records: list[RunRecord] = field(default_factory=list)
     timeout: float = 1.0
+    # campaign batch mode: cross-problem engine reuse counters from the
+    # shared EnginePool (None when every problem got a fresh engine)
+    pool_stats: Optional[dict] = None
 
     def add(self, record: RunRecord) -> None:
         self.records.append(record)
@@ -169,11 +182,42 @@ class Campaign:
         return histogram
 
 
+def batch_order(problems: Sequence[Problem]) -> list[Problem]:
+    """Order a batch so signature-compatible problems run back-to-back.
+
+    The engine pool keys persistent engines by signature fingerprint, so
+    grouping compatible problems maximizes warm-engine hits and keeps
+    the working set to one engine at a time (the pool's LRU never
+    thrashes).  Problems are fingerprinted on their *preprocessed* form
+    — the same form RInGen hands to the pool, so the schedule groups
+    exactly by the pool's engine keys (preprocessing can add ``diseq``
+    predicates that split raw-compatible systems apart).  Grouping is
+    stable: groups appear in first-occurrence order and problems keep
+    their relative order within a group.
+    """
+    groups: dict[tuple, list[Problem]] = {}
+    order: list[tuple] = []
+    for problem in problems:
+        try:
+            key = signature_fingerprint(preprocess(problem.build()))
+        except Exception:
+            key = ("unfingerprintable", problem.suite, problem.name)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(problem)
+    return [p for key in order for p in groups[key]]
+
+
 def run_problem(
-    problem: Problem, solver_name: str, timeout: float
+    problem: Problem,
+    solver_name: str,
+    timeout: float,
+    *,
+    engine_pool: Optional[EnginePool] = None,
 ) -> RunRecord:
     """Run one solver on one problem and score the verdict."""
-    solver = make_solver(solver_name, timeout)
+    solver = make_solver(solver_name, timeout, engine_pool=engine_pool)
     system = problem.build()
     start = time.monotonic()
     try:
@@ -214,16 +258,37 @@ def run_campaign(
     timeout: float = 1.0,
     progress: Optional[Callable[[str], None]] = None,
     problem_filter: Optional[Callable[[Problem], bool]] = None,
+    share_engines: bool = False,
+    engine_pool: Optional[EnginePool] = None,
 ) -> Campaign:
-    """Run the full (suite x solver) product."""
+    """Run the full (suite x solver) product.
+
+    ``share_engines`` switches on campaign batch mode: one
+    :class:`~repro.mace.pool.EnginePool` spans the whole run (pass
+    ``engine_pool`` to supply your own), problems are scheduled in
+    :func:`batch_order` so signature-compatible systems run
+    back-to-back, and the pool's cross-problem reuse counters land in
+    ``Campaign.pool_stats``.  Verdicts are unaffected — the pool only
+    changes which solver state the model finder starts from.
+    """
     campaign = Campaign(timeout=timeout)
     solvers = list(solvers or SOLVER_ORDER)
+    pool = engine_pool
+    if share_engines and pool is None:
+        pool = EnginePool()
     for suite in suites:
-        for problem in suite:
-            if problem_filter is not None and not problem_filter(problem):
-                continue
+        problems = [
+            p
+            for p in suite
+            if problem_filter is None or problem_filter(p)
+        ]
+        if pool is not None:
+            problems = batch_order(problems)
+        for problem in problems:
             for solver_name in solvers:
-                record = run_problem(problem, solver_name, timeout)
+                record = run_problem(
+                    problem, solver_name, timeout, engine_pool=pool
+                )
                 campaign.add(record)
                 if progress is not None:
                     progress(
@@ -231,4 +296,6 @@ def run_campaign(
                         f"{solver_name}: {record.status} "
                         f"({record.elapsed:.2f}s)"
                     )
+    if pool is not None:
+        campaign.pool_stats = pool.as_dict()
     return campaign

@@ -12,8 +12,12 @@ from repro.mace.finder import (
     size_vectors,
 )
 from repro.mace.model import FiniteModel, ModelError, validate_model
+from repro.mace.pool import EnginePool, PoolStats, signature_fingerprint
 
 __all__ = [
+    "EnginePool",
+    "PoolStats",
+    "signature_fingerprint",
     "FinderError",
     "FinderResult",
     "FinderStats",

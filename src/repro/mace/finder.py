@@ -58,6 +58,40 @@ ablation (``incremental=False`` — a reset before every vector), and as a
 safety valve when the shared clause database derives a level-0
 contradiction, which would otherwise bleed an UNSAT verdict into every
 later size vector.  Both show up in :class:`FinderStats.solver_resets`.
+
+Campaign mode (sharing one engine across problems)
+--------------------------------------------------
+
+Benchmark campaigns solve hundreds of systems that overwhelmingly share
+their ADT signature, so the engine hosts *multiple problems* at once.
+Every clause is encoded as a selector-guarded **clause group**
+(:class:`_ClauseGroup`): the ground instances carry a ``¬sel`` guard
+(selector allocated from the shared :class:`~repro.sat.cnf.SelectorPool`
+by canonical clause structure, :func:`clause_key`), and a problem — a
+:class:`_ProblemContext` — is activated for one ``try_vector`` call by
+assuming exactly the selectors of the groups it references.  Groups are
+engine-wide: two problems containing the same clause (up to variable
+renaming — e.g. the five STLC typing rules shared by all 23
+inhabitation problems, or a benchmark family's common rules) share one
+ground encoding *and* every learned clause derived from it, since those
+mention the same selector.  The signature-level encoding —
+existence-selector chains, cell totality/functionality rows, symmetry
+cuts — carries no guard at all and is shared by every problem, as are
+VSIDS activity and saved phases.
+
+Lifecycle: a released problem decrements its groups' refcounts; a group
+nothing references survives ``gc_window`` further registrations (so
+back-to-back problems from one family keep their rules warm) and is
+then retired — its selector pinned false via
+:meth:`~repro.sat.cnf.SelectorPool.retire`, which permanently satisfies
+its clauses, and a level-0 :meth:`~repro.sat.solver.CDCLSolver.simplify`
+physically drops them from the watch lists.  If unit propagation ever
+fixes a group selector false at level 0, the database alone entails
+that clause is unsatisfiable under every assumption set, i.e. at every
+size vector: every problem containing it is ``hopeless`` and its sweep
+stops early.  :class:`EnginePool` in :mod:`repro.mace.pool` keys
+engines by a canonical signature fingerprint and hands out
+:class:`ModelFinder` instances riding a shared engine.
 """
 
 from __future__ import annotations
@@ -190,6 +224,11 @@ class FinderStats:
     learned_kept: int = 0
     solver_resets: int = 0
     incremental: bool = True
+    # campaign mode: True when this search ran on a pool-shared engine,
+    # and the clauses other problems had already contributed to that
+    # engine when this finder attached (cross-problem reuse)
+    engine_shared: bool = False
+    cross_problem_clauses: int = 0
 
     def as_dict(self) -> dict:
         """Plain-dict view for result details / JSON artifacts."""
@@ -266,63 +305,290 @@ class _BlockState:
     done_l: Optional[tuple[int, ...]] = None
 
 
-class _IncrementalEngine:
-    """One persistent CDCL encoding spanning the whole size sweep.
+def clause_key(flat: FlatClause) -> tuple:
+    """A canonical, hashable key of a flat clause's logical content.
 
-    See the module docstring for the selector-literal scheme.  The engine
-    owns the solver, the cell/relation variable maps and the growth
-    bookkeeping; :class:`ModelFinder` drives it one size vector at a
-    time through :meth:`try_vector`.
+    Variables are renumbered by first occurrence in a fixed traversal
+    (clause variables, definitions, body, head), so two flattenings of
+    the same clause — even from different problems, with different fresh
+    variable names — get equal keys.  Equal keys mean the ground
+    encodings coincide up to variable naming, which is what lets a
+    campaign engine share one selector-guarded clause group between
+    every problem that contains the clause.
+    """
+    order: dict[Var, int] = {}
+
+    def slot(v: Var) -> tuple:
+        i = order.get(v)
+        if i is None:
+            i = len(order)
+            order[v] = i
+        return (i, v.sort.name)
+
+    def atom_key(atom: FlatAtom) -> tuple:
+        uindex = {v: i for i, v in enumerate(atom.universal_vars)}
+        lindex = {v: i for i, v in enumerate(atom.local_vars)}
+
+        def aslot(v: Var) -> tuple:
+            if v in lindex:
+                return ("l", lindex[v], v.sort.name)
+            if v in uindex:
+                return ("u", uindex[v], v.sort.name)
+            return ("o",) + slot(v)
+
+        return (
+            atom.pred.name,
+            tuple(aslot(v) for v in atom.vars),
+            tuple(v.sort.name for v in atom.universal_vars),
+            tuple(
+                (f.name, tuple(aslot(a) for a in args), aslot(r))
+                for f, args, r in atom.local_defs
+            ),
+            tuple(v.sort.name for v in atom.local_vars),
+        )
+
+    vars_key = tuple(slot(v) for v in flat.vars)
+    defs_key = tuple(
+        (f.name, tuple(slot(a) for a in args), slot(r))
+        for f, args, r in flat.defs
+    )
+    body_key = tuple(atom_key(a) for a in flat.body)
+    head_key = atom_key(flat.head) if flat.head is not None else None
+    return (vars_key, defs_key, body_key, head_key)
+
+
+class _ClauseGroup:
+    """One selector-guarded ground encoding of one (canonical) clause.
+
+    Groups are engine-wide: every problem containing a structurally
+    identical clause references the same group, so its ground instances
+    — and any learned clauses derived from them, which mention the same
+    selector — encode once and serve the whole campaign.  ``refs``
+    counts the live contexts referencing the group; an unreferenced
+    group survives ``gc_window`` further problem registrations before
+    its selector is retired (see :meth:`_IncrementalEngine._gc_groups`),
+    so back-to-back problems from one family keep their shared rules
+    hot while one-off query clauses age out.
     """
 
-    def __init__(self, finder: "ModelFinder"):
-        self.finder = finder
+    __slots__ = (
+        "flat",
+        "serial",
+        "sel",
+        "cur",
+        "done",
+        "blocks",
+        "atom_layouts",
+        "refs",
+        "last_touch",
+    )
+
+    def __init__(self, flat: FlatClause, serial: int):
+        self.flat = flat
+        self.serial = serial
+        self.sel: Optional[int] = None
+        self.cur: dict[Sort, int] = {}
+        self.done: Optional[tuple[int, ...]] = None
+        self.blocks: list[_BlockState] = []
+        self.atom_layouts: dict[int, tuple] = {}
+        self.refs = 0
+        self.last_touch = 0
+
+
+class _ProblemContext:
+    """Per-problem state registered on a (possibly shared) engine.
+
+    The context is thin: a problem is its set of clause groups (see
+    :class:`_ClauseGroup`) plus a growth envelope.  Activating the
+    problem for one ``solve`` call means assuming exactly its groups'
+    selectors; everything else — cells, existence chains, symmetry cuts,
+    the solver, and any group some other problem also contains — is
+    shared engine state.
+    """
+
+    __slots__ = (
+        "flat_clauses",
+        "key",
+        "cur",
+        "groups",
+        "hopeless",
+        "released",
+        "joined_at_clauses",
+    )
+
+    def __init__(
+        self, flat_clauses: Sequence[FlatClause], key: int, joined_at: int
+    ):
+        self.flat_clauses = tuple(flat_clauses)
+        self.key = key
+        self.joined_at_clauses = joined_at
+        self.hopeless = False
+        self.released = False
+        self.cur: dict[Sort, int] = {}
+        # resolved lazily (and re-resolved after an engine reset)
+        self.groups: Optional[list[_ClauseGroup]] = None
+
+
+class _IncrementalEngine:
+    """One persistent CDCL encoding spanning size sweeps and problems.
+
+    See the module docstring for the selector-literal scheme and the
+    campaign extension.  The engine owns the solver, the cell/relation
+    variable maps and the signature-level growth bookkeeping; each
+    registered :class:`_ProblemContext` carries the per-problem state.
+    :class:`ModelFinder` drives one context at a time through
+    :meth:`try_vector`.
+    """
+
+    def __init__(
+        self,
+        sorts: Sequence[Sort],
+        functions: Sequence[FuncSymbol],
+        predicates: Sequence[PredSymbol],
+        *,
+        symmetry_breaking: bool = True,
+        gc_window: int = 8,
+    ):
+        self.sorts = list(sorts)
+        self.functions = list(functions)
+        self.predicates = list(predicates)
+        self.symmetry_breaking = symmetry_breaking
+        # how many problem registrations an unreferenced clause group
+        # survives before its selector is retired and its clauses
+        # dropped (campaign hygiene; see _gc_groups)
+        self.gc_window = gc_window
         self._folded_added = 0
         self._folded_learned = 0
         self._tick_count = 0
+        self._deadline: Optional[float] = None
+        self._contexts: list[_ProblemContext] = []
+        self._ctx_counter = itertools.count()
+        self.problems_registered = 0
+        self.groups_shared = 0  # group lookups served by an existing group
         self._constants: dict[Sort, list[FuncSymbol]] = {
             s: [
                 f
-                for f in finder.functions
+                for f in self.functions
                 if f.result_sort == s and f.arity == 0
             ]
-            for s in finder.sorts
+            for s in self.sorts
         }
         self._fresh()
 
     # -- lifecycle ---------------------------------------------------------
     def _fresh(self) -> None:
-        finder = self.finder
         self.solver = CDCLSolver()
         self.selectors = SelectorPool(self.solver)
-        self.cur: dict[Sort, int] = {s: 0 for s in finder.sorts}
+        self.cur: dict[Sort, int] = {s: 0 for s in self.sorts}
         # nested variable tables: one symbol hash to reach a table keyed
         # by cheap int tuples (the encode loops are hash-bound otherwise)
         self.func_vars: dict[
             FuncSymbol, dict[tuple[tuple[int, ...], int], int]
-        ] = {f: {} for f in finder.functions}
+        ] = {f: {} for f in self.functions}
         self.pred_vars: dict[
             PredSymbol, dict[tuple[int, ...], int]
-        ] = {p: {} for p in finder.predicates}
+        ] = {p: {} for p in self.predicates}
         # existence selectors per sort, indexed by element: _ex_rows[s][v]
         self._ex_rows: dict[Sort, list[int]] = {
-            s: [] for s in finder.sorts
+            s: [] for s in self.sorts
         }
         # per function: (arg-space sizes, codomain size) already encoded
         self._func_done: dict[
             FuncSymbol, tuple[tuple[int, ...], int]
         ] = {}
-        # per flat clause: variable-space sizes already instantiated
-        self._clause_done: list[Optional[tuple[int, ...]]] = [
-            None for _ in finder.flat_clauses
-        ]
-        self._sb_done: dict[Sort, int] = {s: 0 for s in finder.sorts}
-        self._blocks: list[_BlockState] = []
-        # positional layouts per block atom (tables are solver-scoped,
-        # so the cache resets with the engine)
-        self._atom_layouts: dict[int, tuple] = {}
+        self._sb_done: dict[Sort, int] = {s: 0 for s in self.sorts}
+        self._groups: dict[tuple, _ClauseGroup] = {}
+        self._group_serial = itertools.count()
         self._ok = True
-        self.hopeless = False
+        for ctx in self._contexts:
+            self._reset_context(ctx)
+
+    def _reset_context(self, ctx: _ProblemContext) -> None:
+        """Drop a context's solver-scoped state (after an engine reset).
+
+        ``hopeless`` survives: it records a semantic fact about the
+        problem (the database entailed its unsatisfiability at every
+        size), not an artifact of the discarded encoding.
+        """
+        ctx.cur = {s: 0 for s in self.sorts}
+        ctx.groups = None
+
+    def register(
+        self, flat_clauses: Sequence[FlatClause]
+    ) -> _ProblemContext:
+        """Attach one problem's flattened clauses to this engine."""
+        ctx = _ProblemContext(
+            flat_clauses, next(self._ctx_counter), self.total_added
+        )
+        self._reset_context(ctx)
+        self._contexts.append(ctx)
+        self.problems_registered += 1
+        return ctx
+
+    def _resolve_groups(self, ctx: _ProblemContext) -> list[_ClauseGroup]:
+        """Map the context's clauses to engine-wide clause groups."""
+        if ctx.groups is not None:
+            return ctx.groups
+        groups: list[_ClauseGroup] = []
+        seen: set[int] = set()
+        for flat in ctx.flat_clauses:
+            key = clause_key(flat)
+            group = self._groups.get(key)
+            if group is None:
+                group = _ClauseGroup(flat, next(self._group_serial))
+                group.cur = {s: 0 for s in self.sorts}
+                self._groups[key] = group
+            elif group.serial not in seen:
+                self.groups_shared += 1
+            if group.serial in seen:
+                continue  # duplicate clause within one problem
+            seen.add(group.serial)
+            group.refs += 1
+            group.last_touch = self.problems_registered
+            groups.append(group)
+        ctx.groups = groups
+        return groups
+
+    def release(self, ctx: _ProblemContext) -> None:
+        """Detach a finished problem and garbage-collect stale groups.
+
+        The problem's groups lose one reference; groups nothing alive
+        references any more stay warm for ``gc_window`` further problem
+        registrations (back-to-back problems from one family re-hit
+        their shared rules for free) and are then retired — their
+        selector is pinned false, which permanently satisfies their
+        clauses, and a level-0 simplify drops those from the solver.
+        """
+        if ctx.released:
+            return
+        ctx.released = True
+        if ctx in self._contexts:
+            self._contexts.remove(ctx)
+        if ctx.groups is not None:
+            for group in ctx.groups:
+                group.refs -= 1
+            ctx.groups = None
+        self._gc_groups()
+
+    def _gc_groups(self) -> None:
+        retired = False
+        for key, group in list(self._groups.items()):
+            if group.refs > 0:
+                continue
+            if (
+                self.problems_registered - group.last_touch
+                < self.gc_window
+            ):
+                continue
+            del self._groups[key]
+            if group.sel is not None:
+                self.selectors.retire(("clause", group.serial))
+                retired = True
+        if retired:
+            # retired selectors satisfy their groups' clauses at level 0;
+            # physically dropping them keeps the watch lists (and hence
+            # every later problem's propagation) lean
+            self.solver.simplify()
 
     def reset(self, stats: FinderStats) -> None:
         """Discard the shared solver state and start over."""
@@ -346,7 +612,7 @@ class _IncrementalEngine:
     def _tick(self) -> bool:
         """Deadline poll for the encoding loops; False = give up."""
         self._tick_count += 1
-        deadline = self.finder.deadline
+        deadline = self._deadline
         if (
             deadline is not None
             and self._tick_count % 2048 == 0
@@ -354,6 +620,12 @@ class _IncrementalEngine:
         ):
             return False
         return True
+
+    def _sel(self, group: _ClauseGroup) -> int:
+        """The group's activation selector, allocated on first use."""
+        if group.sel is None:
+            group.sel = self.selectors.selector(("clause", group.serial))
+        return group.sel
 
     def _ex(self, sort: Sort, v: int) -> int:
         """Existence selector ``ex[sort, v]`` with its chain clause."""
@@ -385,32 +657,46 @@ class _IncrementalEngine:
         return var
 
     # -- growth ------------------------------------------------------------
-    def ensure(self, sizes: dict[Sort, int]) -> Optional[bool]:
-        """Grow the encoding so every sort covers ``sizes``.
+    def ensure(
+        self, ctx: _ProblemContext, sizes: dict[Sort, int]
+    ) -> Optional[bool]:
+        """Grow the encoding so ``ctx`` covers ``sizes`` on every sort.
 
-        Returns ``None`` when the deadline expired mid-encoding (the
-        encoding stays consistent — already-emitted clauses are valid —
-        but ``cur`` is not advanced).
+        Signature-level state (existence chains, cells, symmetry cuts)
+        grows to the global envelope shared by every context; each of
+        the context's clause groups grows to its own envelope — which a
+        group shared with other problems may already exceed, in which
+        case its ground instances are simply reused.  Returns ``None``
+        when the deadline expired mid-encoding (the encoding stays
+        consistent — already-emitted clauses are valid — but the
+        envelopes are not advanced).
         """
-        finder = self.finder
-        new = {s: max(self.cur[s], sizes[s]) for s in finder.sorts}
-        if new == self.cur:
-            return True
-        for s in finder.sorts:
-            self._ex(s, new[s])  # frontier + chain up front
-        if self._encode_cells(new) is None:
-            return None
-        self._encode_symmetry(new)
-        for block in list(self._blocks):
-            if self._grow_block(block, new) is None:
+        new = {s: max(self.cur[s], sizes[s]) for s in self.sorts}
+        if new != self.cur:
+            for s in self.sorts:
+                self._ex(s, new[s])  # frontier + chain up front
+            if self._encode_cells(new) is None:
                 return None
-        if self._encode_clauses(new) is None:
-            return None
-        self.cur = new
+            self._encode_symmetry(new)
+            self.cur = new
+        ctx_new = {s: max(ctx.cur[s], sizes[s]) for s in self.sorts}
+        for group in self._resolve_groups(ctx):
+            group_new = {
+                s: max(group.cur[s], ctx_new[s]) for s in self.sorts
+            }
+            if group_new == group.cur:
+                continue
+            for block in list(group.blocks):
+                if self._grow_block(group, block, group_new) is None:
+                    return None
+            if self._encode_group(group, group_new) is None:
+                return None
+            group.cur = group_new
+        ctx.cur = ctx_new
         return self._ok
 
     def _encode_cells(self, new: dict[Sort, int]) -> Optional[bool]:
-        for func in self.finder.functions:
+        for func in self.functions:
             res = func.result_sort
             new_cod = new[res]
             arg_sizes = tuple(new[s] for s in func.arg_sorts)
@@ -472,9 +758,9 @@ class _IncrementalEngine:
         The units are valid at every domain size, so they are emitted
         once per new element and shared by the whole sweep.
         """
-        if not self.finder.symmetry_breaking:
+        if not self.symmetry_breaking:
             return
-        for sort in self.finder.sorts:
+        for sort in self.sorts:
             done, size = self._sb_done[sort], new[sort]
             if size <= done:
                 continue
@@ -483,99 +769,110 @@ class _IncrementalEngine:
                     self._add([-self._fvar(c, (), v)])
             self._sb_done[sort] = size
 
-    def _encode_clauses(self, new: dict[Sort, int]) -> Optional[bool]:
-        for idx, flat in enumerate(self.finder.flat_clauses):
-            var_sizes = tuple(new[v.sort] for v in flat.vars)
-            old = self._clause_done[idx]
-            if old == var_sizes:
-                continue
-            # precomputed layout: positions instead of Var-keyed dicts,
-            # so the grounding loop only touches int tuples
-            index = {v: i for i, v in enumerate(flat.vars)}
-            ex_rows = [self._ex_rows[v.sort] for v in flat.vars]
-            defs = [
-                (
-                    self.func_vars[func],
-                    tuple(index[a] for a in arg_vars),
-                    index[result],
-                )
-                for func, arg_vars, result in flat.defs
-            ]
-            plain = []
-            block_atoms = []
-            for atom in flat.body:
-                if atom.universal_vars:
-                    block_atoms.append(atom)
-                else:
-                    plain.append(
-                        (
-                            self.pred_vars[atom.pred],
-                            tuple(index[v] for v in atom.vars),
-                        )
+    def _encode_group(
+        self, group: _ClauseGroup, new: dict[Sort, int]
+    ) -> Optional[bool]:
+        flat = group.flat
+        var_sizes = tuple(new[v.sort] for v in flat.vars)
+        old = group.done
+        if old == var_sizes:
+            return self._ok
+        sel = self._sel(group)
+        # precomputed layout: positions instead of Var-keyed dicts,
+        # so the grounding loop only touches int tuples
+        index = {v: i for i, v in enumerate(flat.vars)}
+        ex_rows = [self._ex_rows[v.sort] for v in flat.vars]
+        defs = [
+            (
+                self.func_vars[func],
+                tuple(index[a] for a in arg_vars),
+                index[result],
+            )
+            for func, arg_vars, result in flat.defs
+        ]
+        plain = []
+        block_atoms = []
+        for atom in flat.body:
+            if atom.universal_vars:
+                block_atoms.append(atom)
+            else:
+                plain.append(
+                    (
+                        self.pred_vars[atom.pred],
+                        tuple(index[v] for v in atom.vars),
                     )
-            head = None
-            if flat.head is not None:
-                head = (
-                    self.pred_vars[flat.head.pred],
-                    tuple(index[v] for v in flat.head.vars),
                 )
-            new_var = self.solver.new_var
-            # blocks created past this point belong to instances whose
-            # clause index has not committed yet (``_clause_done``); on
-            # a deadline abort they are dropped so a resumed sweep does
-            # not keep growing orphans for combos it will re-emit
-            blocks_committed = len(self._blocks)
-            for combo in _combos(old, var_sizes):
-                if not self._tick():
-                    del self._blocks[blocks_committed:]
+        head = None
+        if flat.head is not None:
+            head = (
+                self.pred_vars[flat.head.pred],
+                tuple(index[v] for v in flat.head.vars),
+            )
+        new_var = self.solver.new_var
+        # blocks created past this point belong to instances whose
+        # group has not committed yet (``done``); on a deadline abort
+        # they are dropped so a resumed sweep does not keep growing
+        # orphans for combos it will re-emit
+        blocks_committed = len(group.blocks)
+        for combo in _combos(old, var_sizes):
+            if not self._tick():
+                del group.blocks[blocks_committed:]
+                return None
+            # the activation guard: the group's ground instances are
+            # vacuous unless its selector is assumed — a problem is
+            # activated as the set of its groups' selectors, which is
+            # what lets campaign mode share one instance between every
+            # problem containing the clause
+            literals: list[int] = [-sel]
+            for i, c in enumerate(combo):
+                if c:
+                    literals.append(-ex_rows[i][c])
+            for table, apos, rpos in defs:
+                key = (
+                    tuple(combo[j] for j in apos),
+                    combo[rpos],
+                )
+                var = table.get(key)
+                if var is None:
+                    var = new_var()
+                    table[key] = var
+                literals.append(-var)
+            for atom in block_atoms:
+                block = _BlockState(
+                    atom,
+                    {v: combo[i] for v, i in index.items()},
+                    new_var(),
+                )
+                group.blocks.append(block)
+                if self._grow_block(group, block, new) is None:
+                    del group.blocks[blocks_committed:]
                     return None
-                literals: list[int] = []
-                for i, c in enumerate(combo):
-                    if c:
-                        literals.append(-ex_rows[i][c])
-                for table, apos, rpos in defs:
-                    key = (
-                        tuple(combo[j] for j in apos),
-                        combo[rpos],
-                    )
-                    var = table.get(key)
-                    if var is None:
-                        var = new_var()
-                        table[key] = var
-                    literals.append(-var)
-                for atom in block_atoms:
-                    block = _BlockState(
-                        atom,
-                        {v: combo[i] for v, i in index.items()},
-                        new_var(),
-                    )
-                    self._blocks.append(block)
-                    if self._grow_block(block, new) is None:
-                        del self._blocks[blocks_committed:]
-                        return None
-                    literals.append(-block.t)
-                for table, apos in plain:
-                    args = tuple(combo[j] for j in apos)
-                    var = table.get(args)
-                    if var is None:
-                        var = new_var()
-                        table[args] = var
-                    literals.append(-var)
-                if head is not None:
-                    table, apos = head
-                    args = tuple(combo[j] for j in apos)
-                    var = table.get(args)
-                    if var is None:
-                        var = new_var()
-                        table[args] = var
-                    literals.append(var)
-                self._add(literals)
-            self._clause_done[idx] = var_sizes
+                literals.append(-block.t)
+            for table, apos in plain:
+                args = tuple(combo[j] for j in apos)
+                var = table.get(args)
+                if var is None:
+                    var = new_var()
+                    table[args] = var
+                literals.append(-var)
+            if head is not None:
+                table, apos = head
+                args = tuple(combo[j] for j in apos)
+                var = table.get(args)
+                if var is None:
+                    var = new_var()
+                    table[args] = var
+                literals.append(var)
+            self._add(literals)
+        group.done = var_sizes
         return self._ok
 
     # -- universal blocks --------------------------------------------------
     def _grow_block(
-        self, block: _BlockState, new: dict[Sort, int]
+        self,
+        group: _ClauseGroup,
+        block: _BlockState,
+        new: dict[Sort, int],
     ) -> Optional[bool]:
         """(Re-)encode one universal block up to the ``new`` sizes.
 
@@ -602,7 +899,10 @@ class _IncrementalEngine:
                 if u >= 1:
                     # inactive instantiations hold vacuously
                     self._add([self._ex(v.sort, u), t_inst])
-            if self._emit_premises(block, ucombo, None, l_sizes) is None:
+            if (
+                self._emit_premises(group, block, ucombo, None, l_sizes)
+                is None
+            ):
                 return None
         if block.done_u is not None and block.done_l != l_sizes:
             for ucombo in itertools.product(
@@ -610,7 +910,7 @@ class _IncrementalEngine:
             ):
                 if (
                     self._emit_premises(
-                        block, ucombo, block.done_l, l_sizes
+                        group, block, ucombo, block.done_l, l_sizes
                     )
                     is None
                 ):
@@ -628,14 +928,14 @@ class _IncrementalEngine:
         block.done_u, block.done_l = u_sizes, l_sizes
         return True
 
-    def _block_layout(self, atom: FlatAtom):
+    def _block_layout(self, group: _ClauseGroup, atom: FlatAtom):
         """Positional layout of a block atom, computed once per atom.
 
         Variables are resolved to ("l", i) / ("u", i) / ("o", var)
         slots so the innermost grounding loop only touches int tuples
         (same optimization as the plain-clause grounding loop).
         """
-        layout = self._atom_layouts.get(id(atom))
+        layout = group.atom_layouts.get(id(atom))
         if layout is None:
             uindex = {v: i for i, v in enumerate(atom.universal_vars)}
             lindex = {v: i for i, v in enumerate(atom.local_vars)}
@@ -660,18 +960,19 @@ class _IncrementalEngine:
                 self.pred_vars[atom.pred],
                 tuple(pos(v) for v in atom.vars),
             )
-            self._atom_layouts[id(atom)] = layout
+            group.atom_layouts[id(atom)] = layout
         return layout
 
     def _emit_premises(
         self,
+        group: _ClauseGroup,
         block: _BlockState,
         ucombo: tuple[int, ...],
         old_l: Optional[tuple[int, ...]],
         l_sizes: tuple[int, ...],
     ) -> Optional[bool]:
         t_inst = block.t_insts[ucombo]
-        defs, ptable, arg_slots = self._block_layout(block.atom)
+        defs, ptable, arg_slots = self._block_layout(group, block.atom)
         outer = block.outer
         new_var = self.solver.new_var
         lcombo: tuple[int, ...] = ()
@@ -709,12 +1010,24 @@ class _IncrementalEngine:
 
     # -- solving -----------------------------------------------------------
     def try_vector(
-        self, sizes: dict[Sort, int], stats: FinderStats
+        self,
+        ctx: _ProblemContext,
+        sizes: dict[Sort, int],
+        stats: FinderStats,
+        *,
+        deadline: Optional[float] = None,
+        max_conflicts: Optional[int] = None,
+        max_learned_clauses: Optional[int] = None,
     ) -> Optional[FiniteModel]:
+        if ctx.released:
+            raise FinderError(
+                "problem context was released from its engine"
+            )
+        self._deadline = deadline
         # same counter family as clauses_encoded (accepted add_clause
         # calls incl. units), so the reuse ratio compares like with like
         pre_added = self.solver.stats.clauses_added
-        grown = self.ensure(sizes)
+        grown = self.ensure(ctx, sizes)
         if grown is None:
             return None  # deadline hit mid-encoding
         if not self._ok:
@@ -723,32 +1036,45 @@ class _IncrementalEngine:
             # just this one (the documented reset safety valve).
             self.reset(stats)
             pre_added = 0
-            if self.ensure(sizes) is None:
+            if self.ensure(ctx, sizes) is None:
                 return None
             if not self._ok:
                 # A fresh encoding is contradictory without assumptions.
                 # Every clause is valid at every size, so the conflict is
                 # size-independent: no vector can ever succeed.
-                self.hopeless = True
+                ctx.hopeless = True
                 return None
         stats.clauses_reused += pre_added
-        limit = self.finder.max_learned_clauses
+        limit = max_learned_clauses
         if limit is not None and len(self.solver.learned_clauses) > limit:
             self.solver.reduce_learned(limit // 2)
-        assumptions: list[int] = []
-        for s in self.finder.sorts:
+        # a problem is activated as the set of its groups' selectors
+        assumptions: list[int] = [
+            self._sel(g) for g in self._resolve_groups(ctx)
+        ]
+        for s in self.sorts:
             k = sizes[s]
             if k >= 2:
                 assumptions.append(self._ex(s, k - 1))
             assumptions.append(-self._ex(s, k))
         outcome = self.solver.solve(
             assumptions,
-            max_conflicts=self.finder.max_conflicts,
-            deadline=self.finder.deadline,
+            max_conflicts=max_conflicts,
+            deadline=deadline,
         )
         stats.sat_vars = max(stats.sat_vars, self.solver.num_vars)
         stats.sat_clauses = max(stats.sat_clauses, len(self.solver.clauses))
         if not outcome:
+            if outcome is False and any(
+                g.sel is not None
+                and self.solver.fixed(g.sel) is False
+                for g in (ctx.groups or ())
+            ):
+                # the database alone entails the negation of one of the
+                # problem's selectors: that clause is unsatisfiable
+                # under every assumption set, i.e. at every size vector
+                # — stop the sweep early
+                ctx.hopeless = True
             return None
         return self._decode(sizes, self.solver.model())
 
@@ -767,7 +1093,7 @@ class _IncrementalEngine:
                 if assignment.get(var):
                     functions.setdefault(f, {})[args] = v
         predicates: dict[PredSymbol, set[tuple[int, ...]]] = {
-            p: set() for p in self.finder.predicates
+            p: set() for p in self.predicates
         }
         for p, table in self.pred_vars.items():
             arg_sizes = [sizes[s] for s in p.arg_sorts]
@@ -793,6 +1119,14 @@ class ModelFinder:
     failed Herbrand check) also reuse the encoding and learned clauses.
     ``incremental=False`` resets the engine before every size vector —
     the from-scratch behaviour, kept for the ablation benchmark.
+
+    ``engine`` injects a shared engine (campaign mode): the finder
+    registers its problem as one context on that engine instead of
+    building its own, inheriting every clause, learned clause and
+    heuristic score other signature-compatible problems left behind.
+    The engine's signature lists must match the system's exactly — the
+    :class:`~repro.mace.pool.EnginePool` guarantees this by keying
+    engines on a canonical signature fingerprint.
     """
 
     def __init__(
@@ -806,6 +1140,7 @@ class ModelFinder:
         min_total_size: int = 0,
         incremental: bool = True,
         max_learned_clauses: Optional[int] = 20_000,
+        engine: Optional[_IncrementalEngine] = None,
     ):
         self.system = system
         self.max_total_size = max_total_size
@@ -826,7 +1161,24 @@ class ModelFinder:
             system.predicates.values(), key=lambda p: p.name
         )
         self.sorts = sorted(system.adts.sorts, key=lambda s: s.name)
-        self._engine: Optional[_IncrementalEngine] = None
+        if engine is not None:
+            if not incremental:
+                raise FinderError(
+                    "a shared engine requires incremental mode"
+                )
+            if (
+                engine.sorts != self.sorts
+                or engine.functions != self.functions
+                or engine.predicates != self.predicates
+                or engine.symmetry_breaking != symmetry_breaking
+            ):
+                raise FinderError(
+                    "shared engine signature does not match the system "
+                    "(pool fingerprints must agree)"
+                )
+        self._engine: Optional[_IncrementalEngine] = engine
+        self._shared_engine = engine is not None
+        self._ctx: Optional[_ProblemContext] = None
 
     # ------------------------------------------------------------------
     def search(
@@ -848,9 +1200,23 @@ class ModelFinder:
             self.min_total_size if min_total_size is None else min_total_size
         )
         if self._engine is None:
-            self._engine = _IncrementalEngine(self)
+            self._engine = _IncrementalEngine(
+                self.sorts,
+                self.functions,
+                self.predicates,
+                symmetry_breaking=self.symmetry_breaking,
+            )
         engine = self._engine
-        stats = FinderStats(incremental=self.incremental)
+        if self._ctx is None:
+            self._ctx = engine.register(self.flat_clauses)
+        ctx = self._ctx
+        stats = FinderStats(
+            incremental=self.incremental,
+            engine_shared=self._shared_engine,
+            cross_problem_clauses=(
+                ctx.joined_at_clauses if self._shared_engine else 0
+            ),
+        )
         base_added = engine.total_added
         base_learned = engine.total_learned
         start = time.monotonic()
@@ -864,6 +1230,8 @@ class ModelFinder:
                 stats.model_size = model.size()
             return FinderResult(model, stats)
 
+        if ctx.hopeless:
+            return finish(None)
         for sizes in size_vectors(
             self.sorts, self.max_total_size, min_total
         ):
@@ -872,10 +1240,17 @@ class ModelFinder:
             stats.attempts += 1
             if not self.incremental:
                 engine.reset(stats)
-            model = engine.try_vector(sizes, stats)
+            model = engine.try_vector(
+                ctx,
+                sizes,
+                stats,
+                deadline=self.deadline,
+                max_conflicts=self.max_conflicts,
+                max_learned_clauses=self.max_learned_clauses,
+            )
             if model is not None:
                 return finish(model)
-            if engine.hopeless:
+            if ctx.hopeless:
                 break  # size-independent contradiction: no model exists
         return finish(None)
 

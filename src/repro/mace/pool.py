@@ -1,0 +1,227 @@
+"""Campaign batch mode: persistent model-finding engines shared across problems.
+
+The paper's evaluation (Sec. 6) runs whole benchmark campaigns —
+hundreds of CHC systems that overwhelmingly share their ADT signatures.
+Building a fresh incremental engine per problem discards learned
+clauses, VSIDS activity and the signature-level cell encoding between
+runs; the :class:`EnginePool` keeps one :class:`_IncrementalEngine`
+alive per *canonical signature fingerprint* instead, so every
+signature-compatible problem rides the same persistent CDCL state.
+Cross-problem isolation is by selector-guarded clause groups (see the
+campaign section of the :mod:`repro.mace.finder` docstring): each
+clause's ground instances are guarded by a selector keyed on canonical
+clause structure, a problem is activated through assumptions on exactly
+its groups' selectors, and structurally identical clauses across
+problems — a benchmark family's shared rules — share one encoding and
+the learned clauses derived from it.  Nothing is ever retracted, so
+everything stays valid for every future problem.
+
+Reset conditions (bounding a long campaign's memory):
+
+* an engine that has hosted ``max_problems_per_engine`` contexts is
+  *recycled* — the pool builds a fresh engine for the fingerprint while
+  finders still holding the old one keep working standalone;
+* when more than ``max_engines`` fingerprints are live, the least
+  recently used engine is evicted outright;
+* finished problems should be :meth:`released <EnginePool.release>`:
+  their clause groups lose a reference, and groups nothing references
+  for ``gc_window`` further registrations are retired (selector pinned
+  false, clauses dropped by a level-0 simplify).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.chc.clauses import CHCSystem
+from repro.mace.finder import ModelFinder, _IncrementalEngine
+
+
+def signature_fingerprint(system: CHCSystem) -> tuple:
+    """A canonical, hashable fingerprint of a system's signature.
+
+    Two systems with equal fingerprints declare the same sorts, the same
+    ADT constructors (name, argument sorts, result sort) and the same
+    uninterpreted predicates (name, argument sorts) — exactly the data
+    the propositional encoding's shared layer (existence chains, cells,
+    symmetry cuts) is built from, so their finite-model searches can
+    share one incremental engine.  Clause sets may differ arbitrarily;
+    those stay per-problem behind activation selectors.
+    """
+    signature = system.adts.signature
+    return (
+        tuple(sorted(s.name for s in system.adts.sorts)),
+        tuple(
+            sorted(
+                (
+                    f.name,
+                    tuple(s.name for s in f.arg_sorts),
+                    f.result_sort.name,
+                )
+                for f in signature.functions.values()
+            )
+        ),
+        tuple(
+            sorted(
+                (p.name, tuple(s.name for s in p.arg_sorts))
+                for p in system.predicates.values()
+            )
+        ),
+    )
+
+
+@dataclass
+class PoolStats:
+    """Cross-problem reuse counters of one campaign pool.
+
+    ``engine_hits`` counts problems that joined an engine another
+    problem had already warmed up — the reuse events the pool exists to
+    create — and ``cross_problem_clauses`` sums the clauses those
+    problems found already encoded on arrival.
+    """
+
+    problems: int = 0
+    engines_created: int = 0
+    engine_hits: int = 0
+    cross_problem_clauses: int = 0
+    engine_recycles: int = 0
+    engines_evicted: int = 0
+    released: int = 0
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+class _PooledEngine:
+    """One engine plus the pool's bookkeeping about it."""
+
+    __slots__ = ("engine", "problems_hosted")
+
+    def __init__(self, engine: _IncrementalEngine):
+        self.engine = engine
+        self.problems_hosted = 0
+
+
+class EnginePool:
+    """Persistent :class:`ModelFinder` engines keyed by signature.
+
+    ``finder(system, ...)`` hands out a ModelFinder whose engine is
+    shared with every previous signature-compatible problem; problems
+    with incompatible signatures get (and warm up) separate engines.
+    The pool is a process-lifetime object: one per campaign, threaded
+    through :class:`repro.core.ringen.RInGenConfig` and the harness.
+    """
+
+    def __init__(
+        self,
+        *,
+        symmetry_breaking: bool = True,
+        max_engines: Optional[int] = 8,
+        max_problems_per_engine: Optional[int] = 64,
+    ):
+        self.symmetry_breaking = symmetry_breaking
+        self.max_engines = max_engines
+        self.max_problems_per_engine = max_problems_per_engine
+        self.stats = PoolStats()
+        self._engines: "OrderedDict[tuple, _PooledEngine]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+    def fingerprint(self, system: CHCSystem) -> tuple:
+        return signature_fingerprint(system)
+
+    def _slot_for(self, system: CHCSystem) -> _PooledEngine:
+        key = signature_fingerprint(system)
+        slot = self._engines.get(key)
+        if slot is not None and (
+            self.max_problems_per_engine is not None
+            and slot.problems_hosted >= self.max_problems_per_engine
+        ):
+            # recycle: bound the clause database a very long campaign
+            # accumulates; finders still holding the old engine keep
+            # working standalone
+            del self._engines[key]
+            slot = None
+            self.stats.engine_recycles += 1
+        if slot is None:
+            slot = _PooledEngine(
+                _IncrementalEngine(
+                    sorted(system.adts.sorts, key=lambda s: s.name),
+                    sorted(
+                        system.adts.signature.functions.values(),
+                        key=lambda f: f.name,
+                    ),
+                    sorted(
+                        system.predicates.values(), key=lambda p: p.name
+                    ),
+                    symmetry_breaking=self.symmetry_breaking,
+                )
+            )
+            self._engines[key] = slot
+            self.stats.engines_created += 1
+        self._engines.move_to_end(key)
+        if (
+            self.max_engines is not None
+            and len(self._engines) > self.max_engines
+        ):
+            self._engines.popitem(last=False)
+            self.stats.engines_evicted += 1
+        return slot
+
+    def engine_for(self, system: CHCSystem) -> _IncrementalEngine:
+        """The shared engine for ``system``'s signature (creating it)."""
+        return self._slot_for(system).engine
+
+    def finder(
+        self,
+        system: CHCSystem,
+        *,
+        max_total_size: int = 12,
+        max_conflicts_per_size: Optional[int] = 200_000,
+        deadline: Optional[float] = None,
+        min_total_size: int = 0,
+        max_learned_clauses: Optional[int] = 20_000,
+    ) -> ModelFinder:
+        """A ModelFinder for ``system`` riding the pooled engine."""
+        slot = self._slot_for(system)
+        engine = slot.engine
+        hit = engine.problems_registered > 0
+        finder = ModelFinder(
+            system,
+            max_total_size=max_total_size,
+            max_conflicts_per_size=max_conflicts_per_size,
+            symmetry_breaking=self.symmetry_breaking,
+            deadline=deadline,
+            min_total_size=min_total_size,
+            incremental=True,
+            max_learned_clauses=max_learned_clauses,
+            engine=engine,
+        )
+        self.stats.problems += 1
+        slot.problems_hosted += 1
+        if hit:
+            self.stats.engine_hits += 1
+            self.stats.cross_problem_clauses += engine.total_added
+        return finder
+
+    def release(self, finder: ModelFinder) -> None:
+        """Retire a finished problem's activation selector.
+
+        Safe to call for finders that never searched (no context yet)
+        and idempotent for already-released ones.
+        """
+        engine, ctx = finder._engine, finder._ctx
+        if engine is None or ctx is None or ctx.released:
+            return
+        engine.release(ctx)
+        self.stats.released += 1
+
+    def as_dict(self) -> dict:
+        """Plain-dict stats view for reports / JSON artifacts."""
+        info = self.stats.as_dict()
+        info["engines_live"] = len(self._engines)
+        return info

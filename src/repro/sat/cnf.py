@@ -60,6 +60,25 @@ class SelectorPool:
             -self.selector(k) for k in off
         ]
 
+    def retire(self, key: Hashable) -> bool:
+        """Permanently deactivate ``key``'s clause group.
+
+        Pins the selector false with a unit clause, so every clause
+        guarded by it is satisfied from level 0 onward — the
+        assumption-based analogue of deleting the group (the clauses
+        stay in the database but can never constrain a model again).
+        The key is forgotten; a later :meth:`selector` call for the same
+        key allocates a fresh literal, which is how a long-running
+        engine (e.g. a campaign pool) recycles per-problem activation
+        selectors without invalidating learned clauses that mention the
+        retired one.  Returns False if ``key`` was never allocated.
+        """
+        lit = self._by_key.pop(key, None)
+        if lit is None:
+            return False
+        self._solver.add_clause([-lit])
+        return True
+
 
 def at_most_one(literals: Sequence[int]) -> Iterator[list[int]]:
     """Pairwise at-most-one encoding.

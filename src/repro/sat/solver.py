@@ -37,10 +37,12 @@ class SatStats:
     All counters are cumulative over the solver's lifetime; incremental
     callers (the model finder's size sweep) snapshot them between calls
     to attribute work to individual :meth:`CDCLSolver.solve` calls.
-    ``clauses_added`` counts problem clauses accepted by
-    :meth:`CDCLSolver.add_clause` (including units that were immediately
-    propagated rather than stored), so reused-vs-newly-encoded clause
-    accounting survives level-0 simplification.
+    ``clauses_added`` counts every well-formed clause accepted by
+    :meth:`CDCLSolver.add_clause` while the solver is still consistent —
+    including units that were immediately propagated, tautologies and
+    clauses already satisfied at level 0 — so reused-vs-newly-encoded
+    clause accounting survives level-0 simplification and the counter
+    means the same thing on every accepting return path.
     """
 
     decisions: int = 0
@@ -89,6 +91,15 @@ class CDCLSolver:
         # they survive the backtrack that clears assumption levels
         self._pending_units: list[int] = []
         self._ok = True
+        # True only while the assignment left by the last solve() call is
+        # a complete satisfying model; cleared by add_clause and by any
+        # solve() outcome other than True (see model())
+        self._model_ready = False
+        # wall-clock deadline of the in-flight solve() call, polled
+        # coarsely inside _propagate (long propagations at campaign
+        # clause volumes must not overshoot the caller's budget)
+        self._deadline: Optional[float] = None
+        self._deadline_hit = False
         if num_vars:
             self.new_vars(num_vars)
 
@@ -168,6 +179,7 @@ class CDCLSolver:
         """
         seen: set[int] = set()
         clause: list[int] = []
+        tautology = False
         for lit in literals:
             if lit == 0:
                 raise SatError("literal 0 is not allowed")
@@ -175,16 +187,22 @@ class CDCLSolver:
             if var > self.num_vars:
                 raise SatError(f"unknown variable {var}")
             if -lit in seen:
-                return True  # tautology
+                tautology = True
             if lit in seen:
                 continue
             seen.add(lit)
             clause.append(lit)
         if not self._ok:
             return False
+        self._model_ready = False
         if self._trail_lim:
             self._backtrack(0)
+        # every accepting path below counts exactly once, tautologies and
+        # level-0-satisfied clauses included, so the incremental engine's
+        # encoded/reused ratios compare like with like
         self.stats.clauses_added += 1
+        if tautology:
+            return True
         if not clause:
             self._ok = False
             return False
@@ -250,7 +268,21 @@ class CDCLSolver:
         assign = self._assign
         watches = self._watches
         trail = self._trail
+        deadline = self._deadline
+        since_poll = 0
         while self._queue_head < len(trail):
+            # the poll runs BEFORE the literal is popped: an aborted
+            # call leaves _queue_head on the unprocessed literal, so the
+            # next _propagate resumes exactly there and no watch list is
+            # ever silently skipped (level-0 entries survive the
+            # backtrack in solve(), so a skip would be permanent)
+            if deadline is not None:
+                since_poll += 1
+                if since_poll >= 1024:
+                    since_poll = 0
+                    if time.monotonic() > deadline:
+                        self._deadline_hit = True
+                        return None
             lit = trail[self._queue_head]
             self._queue_head += 1
             self.stats.propagations += 1
@@ -389,14 +421,34 @@ class CDCLSolver:
 
         Returns True (sat), False (unsat), or None if ``max_conflicts`` or
         the wall-clock ``deadline`` was exhausted (both are used by the
-        model finder's per-size budgets).  ``max_conflicts`` is a *per
-        call* budget: each call measures conflicts relative to its own
-        start, so an incremental caller issuing many calls against one
-        solver gives every call the same allowance.  Learned clauses,
-        VSIDS activity and saved phases all persist across calls, which
-        is what makes assumption-based incremental solving pay off.
+        model finder's per-size budgets).  The deadline is checked on
+        every conflict and, coarsely, inside unit propagation itself, so
+        a single long :meth:`_propagate` run at campaign clause volumes
+        cannot overshoot the caller's budget by more than one poll
+        interval.  ``max_conflicts`` is a *per call* budget: each call
+        measures conflicts relative to its own start, so an incremental
+        caller issuing many calls against one solver gives every call the
+        same allowance.  Learned clauses, VSIDS activity and saved phases
+        all persist across calls, which is what makes assumption-based
+        incremental solving pay off.
         """
         self.stats.solve_calls += 1
+        self._model_ready = False
+        self._deadline = deadline
+        self._deadline_hit = False
+        try:
+            outcome = self._solve(assumptions, max_conflicts, deadline)
+        finally:
+            self._deadline = None
+        self._model_ready = outcome is True
+        return outcome
+
+    def _solve(
+        self,
+        assumptions: Sequence[int],
+        max_conflicts: Optional[int],
+        deadline: Optional[float],
+    ) -> Optional[bool]:
         call_conflicts_start = self.stats.conflicts
         if not self._ok:
             return False
@@ -414,6 +466,9 @@ class CDCLSolver:
         if conflict is not None:
             self._ok = False
             return False
+        if self._deadline_hit:
+            self._backtrack(0)
+            return None
         for lit in assumptions:
             if self._value(lit) == FALSE_VAL:
                 return False
@@ -424,6 +479,9 @@ class CDCLSolver:
                 if conflict is not None:
                     self._backtrack(0)
                     return False
+                if self._deadline_hit:
+                    self._backtrack(0)
+                    return None
         base_level = len(self._trail_lim)
         restart_count = 0
         conflicts_here = 0
@@ -436,9 +494,20 @@ class CDCLSolver:
                     self._backtrack(0)
                     return None
             conflict = self._propagate()
+            if conflict is None and self._deadline_hit:
+                # propagation aborted on the wall clock: the queue may be
+                # only partially drained, so give up rather than decide
+                self._backtrack(0)
+                return None
             if conflict is not None:
                 self.stats.conflicts += 1
                 conflicts_here += 1
+                # the deadline is polled on every conflict — analysis
+                # dwarfs a clock read, and per-conflict granularity keeps
+                # overshoot bounded independent of propagation cost
+                if deadline is not None and time.monotonic() > deadline:
+                    self._backtrack(0)
+                    return None
                 if (
                     max_conflicts is not None
                     and self.stats.conflicts - call_conflicts_start
@@ -508,8 +577,97 @@ class CDCLSolver:
                 self._reason[v] = None
         return len(drop)
 
+    def simplify(self) -> int:
+        """Drop clauses permanently satisfied at level 0.
+
+        A literal true at level 0 satisfies its clauses in every future
+        solving context, so those clauses (problem and learned alike) are
+        dead weight in the watch lists — they accumulate fast in a
+        campaign engine whose per-problem activation selectors are
+        retired (pinned false) as problems finish.  Removal is sound
+        because level-0 facts are consequences of the database alone,
+        never of assumptions.  Returns the number of clauses dropped.
+        """
+        if not self._ok:
+            return 0
+        self._model_ready = False
+        self._backtrack(0)
+        conflict = self._propagate()
+        if conflict is not None:
+            self._ok = False
+            return 0
+        assign, level = self._assign, self._level
+
+        def satisfied(clause: list[int]) -> bool:
+            for lit in clause:
+                var = lit if lit > 0 else -lit
+                val = assign[var] if lit > 0 else -assign[var]
+                if val == TRUE_VAL and level[var] == 0:
+                    return True
+            return False
+
+        dropped: set[int] = set()
+        kept: list[list[int]] = []
+        for clause in self.clauses:
+            if satisfied(clause):
+                dropped.add(id(clause))
+            else:
+                kept.append(clause)
+        self.clauses = kept
+        kept_learned: list[list[int]] = []
+        for clause in self.learned_clauses:
+            if satisfied(clause):
+                dropped.add(id(clause))
+            else:
+                kept_learned.append(clause)
+        self.learned_clauses = kept_learned
+        if not dropped:
+            return 0
+        for lit, watchers in self._watches.items():
+            if watchers:
+                self._watches[lit] = [
+                    c for c in watchers if id(c) not in dropped
+                ]
+        # level-0 reasons are never analyzed; clear stale references so
+        # the dropped clauses can actually be collected
+        for v in range(1, self.num_vars + 1):
+            reason = self._reason[v]
+            if reason is not None and id(reason) in dropped:
+                self._reason[v] = None
+        return len(dropped)
+
+    def fixed(self, lit: int) -> Optional[bool]:
+        """The literal's value if permanently fixed at level 0, else None.
+
+        Level-0 assignments are consequences of the clause database alone
+        (never of assumptions), so a ``False`` here means the database
+        entails ``-lit`` — e.g. a problem's activation selector being
+        fixed false proves that problem unsatisfiable under every
+        assumption set the engine could ever pass.
+        """
+        var = abs(lit)
+        if var > self.num_vars:
+            raise SatError(f"unknown variable {var}")
+        if self._assign[var] == UNASSIGNED or self._level[var] != 0:
+            return None
+        return self._value(lit) == TRUE_VAL
+
     def model(self) -> dict[int, bool]:
-        """The satisfying assignment after a successful :meth:`solve`."""
+        """The satisfying assignment after a successful :meth:`solve`.
+
+        Only valid while the last :meth:`solve` call returned ``True`` and
+        no clause has been added since.  Any other state — the last call
+        exhausted its conflict budget or deadline (returned ``None``),
+        answered unsat (``False``), or :meth:`add_clause` invalidated the
+        assignment — raises :class:`SatError` instead of silently handing
+        back a stale or partial assignment.
+        """
+        if not self._model_ready:
+            raise SatError(
+                "model() is only available after solve() returned True "
+                "(the last call timed out, answered unsat, or the "
+                "formula changed since)"
+            )
         return {
             v: self._assign[v] == TRUE_VAL
             for v in range(1, self.num_vars + 1)

@@ -16,6 +16,7 @@ from repro.automata.ops import (
     difference,
     equivalent,
     intersection,
+    language_key,
     minimize_1d,
     op_cache_info,
     product,
@@ -444,3 +445,24 @@ class TestEmptinessCache:
         assert cached_is_empty(empty)  # served from cache
         info = op_cache_info()
         assert info["hits"] >= 1 and info["size"] >= 1
+
+    def test_fingerprint_cache_evicts_dead_automata(self):
+        # regression: dead-weakref entries used to live until the same
+        # id() was reused, leaking across long campaigns
+        import gc
+
+        clear_op_caches()
+        automata = [mod_automaton(k, [0]) for k in range(2, 12)]
+        for a in automata:
+            language_key(a)
+        held = op_cache_info()["fingerprints"]
+        assert held >= len(automata)
+        survivor = automata[0]
+        del automata
+        del a  # the loop variable still pins the last automaton
+        gc.collect()
+        after = op_cache_info()["fingerprints"]
+        assert after <= held - 9, (held, after)
+        # the surviving automaton's fingerprint is still cached and valid
+        assert language_key(survivor) == language_key(survivor)
+        assert op_cache_info()["fingerprints"] >= 1

@@ -1,0 +1,235 @@
+"""Campaign batch mode: the engine pool and cross-problem sharing."""
+
+import pytest
+
+from repro import solve
+from repro.benchgen.builders import nat_mod_system, nat_two_residues_system
+from repro.chc.transform import preprocess
+from repro.core.ringen import RInGenConfig
+from repro.harness import batch_order, run_campaign
+from repro.benchgen.suite import Suite
+from repro.mace import EnginePool, find_model, signature_fingerprint
+from repro.mace.finder import FinderError, ModelFinder, clause_key
+from repro.problems import even_system, odd_unsat_system
+from repro.stlc import stlc_problems
+
+
+def stlc_batch(count=4):
+    return [
+        p for p in stlc_problems() if p.category == "non-tautology"
+    ][:count]
+
+
+class TestFingerprint:
+    def test_same_family_shares_fingerprint(self):
+        a = signature_fingerprint(preprocess(nat_mod_system(2, 0, 1)))
+        b = signature_fingerprint(preprocess(nat_mod_system(5, 1, 2)))
+        assert a == b
+
+    def test_different_signatures_differ(self):
+        a = signature_fingerprint(preprocess(nat_mod_system(2, 0, 1)))
+        b = signature_fingerprint(preprocess(even_system()))
+        c = signature_fingerprint(
+            preprocess(nat_two_residues_system(2, 0, 1))
+        )
+        assert a != b
+        assert a != c  # extra predicate Q changes the signature
+
+    def test_clause_key_is_renaming_invariant(self):
+        # the same problem flattened twice uses different fresh names;
+        # every clause must still key identically
+        finder_a = ModelFinder(preprocess(nat_mod_system(3, 1, 2)))
+        finder_b = ModelFinder(preprocess(nat_mod_system(3, 1, 2)))
+        keys_a = [clause_key(f) for f in finder_a.flat_clauses]
+        keys_b = [clause_key(f) for f in finder_b.flat_clauses]
+        assert keys_a == keys_b
+        # a different query produces at least one differing key
+        finder_c = ModelFinder(preprocess(nat_mod_system(3, 1, 4)))
+        keys_c = [clause_key(f) for f in finder_c.flat_clauses]
+        assert keys_a != keys_c
+
+
+class TestEnginePool:
+    def test_compatible_problems_share_one_engine(self):
+        pool = EnginePool()
+        for m, r, c in ((2, 0, 1), (3, 0, 1), (4, 1, 2)):
+            prepared = preprocess(nat_mod_system(m, r, c))
+            finder = pool.finder(prepared)
+            result = finder.search()
+            assert result.found
+            pool.release(finder)
+        stats = pool.as_dict()
+        assert stats["engines_created"] == 1
+        assert stats["engine_hits"] == 2
+        assert stats["cross_problem_clauses"] > 0
+
+    def test_incompatible_signatures_get_separate_engines(self):
+        pool = EnginePool()
+        a = pool.engine_for(preprocess(nat_mod_system(2, 0, 1)))
+        b = pool.engine_for(preprocess(even_system()))
+        c = pool.engine_for(preprocess(nat_mod_system(5, 1, 3)))
+        assert a is not b
+        assert a is c
+        assert len(pool) == 2
+
+    def test_differential_verdicts_nat_family(self):
+        pool = EnginePool()
+        for m, r, c in ((2, 0, 1), (2, 1, 3), (3, 0, 2), (4, 0, 3)):
+            prepared = preprocess(nat_mod_system(m, r, c))
+            fresh = find_model(prepared)
+            finder = pool.finder(prepared)
+            pooled = finder.search()
+            assert fresh.found == pooled.found
+            assert fresh.model.size() == pooled.model.size()
+            assert pooled.model.satisfies(prepared)
+            pool.release(finder)
+
+    def test_differential_verdicts_stlc_suite(self):
+        # the ISSUE's differential criterion: pooled solving of the
+        # shared-signature STLC batch gives verdicts identical to
+        # fresh-engine runs (model sizes may differ on these
+        # quantifier-alternating systems — both models are verified)
+        pool = EnginePool()
+        for problem in stlc_batch(3):
+            system = problem.system()
+            fresh = solve(system, timeout=60)
+            pooled = solve(system, timeout=60, engine_pool=pool)
+            assert fresh.status == pooled.status, problem.name
+            assert pooled.status.value == problem.expected
+            assert pooled.details["engine_pool"]["pooled"] is True
+        stats = pool.as_dict()
+        assert stats["engines_created"] == 1
+        assert stats["engine_hits"] == len(stlc_batch(3)) - 1
+        assert stats["cross_problem_clauses"] > 0
+
+    def test_unsat_problem_through_pool(self):
+        pool = EnginePool()
+        prepared = preprocess(odd_unsat_system())
+        fresh = find_model(prepared, max_total_size=5)
+        finder = pool.finder(prepared, max_total_size=5)
+        pooled = finder.search()
+        assert not fresh.found and not pooled.found
+
+    def test_released_finder_cannot_search_again(self):
+        pool = EnginePool()
+        finder = pool.finder(preprocess(nat_mod_system(2, 0, 1)))
+        assert finder.search().found
+        pool.release(finder)
+        pool.release(finder)  # idempotent
+        with pytest.raises(FinderError):
+            finder.search()
+
+    def test_engine_recycled_after_problem_cap(self):
+        pool = EnginePool(max_problems_per_engine=2)
+        systems = [
+            preprocess(nat_mod_system(2, 0, 1)),
+            preprocess(nat_mod_system(3, 0, 1)),
+            preprocess(nat_mod_system(4, 0, 1)),
+        ]
+        engines = []
+        for prepared in systems:
+            finder = pool.finder(prepared)
+            engines.append(finder._engine)
+            finder.search()
+            pool.release(finder)
+        assert engines[0] is engines[1]
+        assert engines[2] is not engines[0]
+        assert pool.stats.engine_recycles == 1
+
+    def test_lru_eviction_bounds_engine_count(self):
+        pool = EnginePool(max_engines=1)
+        pool.engine_for(preprocess(nat_mod_system(2, 0, 1)))
+        pool.engine_for(preprocess(even_system()))
+        assert len(pool) == 1
+        assert pool.stats.engines_evicted == 1
+
+    def test_shared_engine_requires_incremental(self):
+        pool = EnginePool()
+        prepared = preprocess(nat_mod_system(2, 0, 1))
+        engine = pool.engine_for(prepared)
+        with pytest.raises(FinderError):
+            ModelFinder(prepared, incremental=False, engine=engine)
+
+    def test_mismatched_engine_rejected(self):
+        pool = EnginePool()
+        engine = pool.engine_for(preprocess(nat_mod_system(2, 0, 1)))
+        with pytest.raises(FinderError):
+            ModelFinder(preprocess(even_system()), engine=engine)
+
+    def test_clause_groups_are_shared(self):
+        pool = EnginePool()
+        first = pool.finder(preprocess(nat_mod_system(3, 0, 1)))
+        first.search()
+        engine = first._engine
+        shared_before = engine.groups_shared
+        # same modulus, same residue, different clash: base + step
+        # clauses are identical and must map to the same groups
+        second = pool.finder(preprocess(nat_mod_system(3, 0, 2)))
+        second.search()
+        assert second._engine is engine
+        assert engine.groups_shared > shared_before
+
+
+class TestRInGenCampaign:
+    def test_config_knobs(self):
+        pool = EnginePool()
+        config = RInGenConfig(engine_pool=pool)
+        assert config.release_engines is True
+        result = solve(
+            nat_mod_system(2, 0, 1), timeout=10, engine_pool=pool
+        )
+        assert result.is_sat
+        assert result.details["engine_pool"]["pooled"] is True
+        assert pool.stats.released == 1
+
+    def test_pool_ignored_for_non_incremental(self):
+        pool = EnginePool()
+        result = solve(
+            nat_mod_system(2, 0, 1),
+            timeout=10,
+            engine_pool=pool,
+            incremental=False,
+        )
+        assert result.is_sat
+        assert "engine_pool" not in result.details
+        assert pool.stats.problems == 0
+
+
+class TestHarnessCampaign:
+    def suite(self) -> Suite:
+        suite = Suite("CampaignTiny")
+        suite.add(
+            "mod2", "mod",
+            lambda: nat_mod_system(2, 0, 1), "sat", ("Reg",),
+        )
+        suite.add(
+            "even", "parity", even_system, "sat", ("Reg",),
+        )
+        suite.add(
+            "mod3", "mod",
+            lambda: nat_mod_system(3, 0, 1), "sat", ("Reg",),
+        )
+        return suite
+
+    def test_batch_order_groups_by_fingerprint(self):
+        ordered = batch_order(list(self.suite()))
+        assert [p.name for p in ordered] == ["mod2", "mod3", "even"]
+
+    def test_run_campaign_share_engines(self):
+        shared = run_campaign(
+            [self.suite()],
+            solvers=["ringen"],
+            timeout=10,
+            share_engines=True,
+        )
+        fresh = run_campaign(
+            [self.suite()], solvers=["ringen"], timeout=10
+        )
+        assert shared.pool_stats is not None
+        assert fresh.pool_stats is None
+        assert shared.pool_stats["problems"] == 3
+        assert shared.pool_stats["engine_hits"] >= 1
+        for record in shared.records:
+            other = fresh.record(record.problem.name, record.solver)
+            assert other is not None
+            assert record.status is other.status, record.problem.name

@@ -1,6 +1,7 @@
 """Tests for the CDCL SAT solver, cross-checked against brute force."""
 
 import itertools
+import time
 
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -204,6 +205,155 @@ class TestIncrementalUse:
         assert solver.solve(assumptions=[-sel]) is True
 
 
+class TestModelStatus:
+    """model() must never hand back a stale or partial assignment."""
+
+    def test_model_before_any_solve_raises(self):
+        solver = CDCLSolver(2)
+        solver.add_clause([1, 2])
+        with pytest.raises(SatError):
+            solver.model()
+
+    def test_model_after_unsat_raises(self):
+        solver = CDCLSolver(1)
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve() is False
+        with pytest.raises(SatError):
+            solver.model()
+
+    def test_model_after_budget_exhausted_raises(self):
+        clauses, num_vars = pigeonhole_clauses(5)
+        solver = CDCLSolver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve(max_conflicts=1) is None
+        # the trail holds a partial assignment from the aborted call;
+        # handing it out as a model would silently mis-decode
+        with pytest.raises(SatError):
+            solver.model()
+        # a later successful call makes the model available again
+        solver2 = CDCLSolver(2)
+        solver2.add_clause([1, 2])
+        assert solver2.solve() is True
+        assert solver2.model()
+
+    def test_model_after_deadline_exhausted_raises(self):
+        clauses, num_vars = pigeonhole_clauses(6)
+        solver = CDCLSolver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve(deadline=time.monotonic() - 1.0) is None
+        with pytest.raises(SatError):
+            solver.model()
+
+    def test_add_clause_invalidates_model(self):
+        solver = CDCLSolver(2)
+        solver.add_clause([1, 2])
+        assert solver.solve() is True
+        assert solver.model()
+        solver.add_clause([-1, -2])
+        with pytest.raises(SatError):
+            solver.model()
+        assert solver.solve() is True
+        assert solver.model()
+
+    def test_fixed_reads_level0_only(self):
+        solver = CDCLSolver(3)
+        solver.add_clause([1])
+        solver.add_clause([2, 3])
+        assert solver.solve() is True
+        assert solver.fixed(1) is True
+        assert solver.fixed(-1) is False
+        # 2/3 were decided, not implied at level 0
+        assert solver.fixed(2) is None or solver.fixed(3) is None
+        with pytest.raises(SatError):
+            solver.fixed(99)
+
+
+class TestClausesAddedAccounting:
+    """clauses_added bumps exactly once per accepted add_clause call,
+    whatever simplification path the clause takes."""
+
+    def test_tautology_and_satisfied_count_uniformly(self):
+        solver = CDCLSolver(3)
+        assert solver.stats.clauses_added == 0
+        solver.add_clause([1])  # unit, immediately propagated
+        assert solver.stats.clauses_added == 1
+        solver.add_clause([2, -2])  # tautology
+        assert solver.stats.clauses_added == 2
+        solver.add_clause([1, 2])  # satisfied at level 0
+        assert solver.stats.clauses_added == 3
+        solver.add_clause([-1, 3])  # shortened at level 0
+        assert solver.stats.clauses_added == 4
+        solver.add_clause([2, 3])  # stored as-is
+        assert solver.stats.clauses_added == 5
+
+    def test_rejected_clauses_do_not_count(self):
+        solver = CDCLSolver(2)
+        with pytest.raises(SatError):
+            solver.add_clause([0])
+        with pytest.raises(SatError):
+            solver.add_clause([9])
+        assert solver.stats.clauses_added == 0
+        solver.add_clause([1])
+        solver.add_clause([-1])  # contradiction: accepted, solver now unsat
+        assert solver.stats.clauses_added == 2
+        # once inconsistent, nothing counts (add_clause returns False)
+        assert solver.add_clause([2]) is False
+        assert solver.add_clause([2, -2]) is False
+        assert solver.stats.clauses_added == 2
+
+
+class TestDeadlinePrecision:
+    def test_solve_deadline_overshoot_is_bounded(self):
+        # a large, conflict-heavy instance with a tiny budget: the old
+        # every-512-outer-iterations poll could overshoot by the length
+        # of whatever propagation run straddled the deadline
+        clauses, num_vars = pigeonhole_clauses(8)
+        solver = CDCLSolver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        budget = 0.05
+        start = time.monotonic()
+        outcome = solver.solve(deadline=start + budget)
+        elapsed = time.monotonic() - start
+        assert outcome is None
+        assert elapsed < budget + 0.25, elapsed
+
+    def test_aborted_propagation_resumes_without_skipping(self):
+        # regression: the in-propagation deadline poll must leave
+        # _queue_head ON the unprocessed literal — level-0 trail
+        # entries survive the backtrack, so skipping one would leave
+        # its watch lists unprocessed forever in an incremental solver
+        n = 3000  # long enough that the poll fires mid-cascade
+        solver = CDCLSolver(n)
+        clauses = []
+        for v in range(1, n):
+            solver.add_clause([-v, v + 1])
+            clauses.append([-v, v + 1])
+        # a pending unit (the path learned units take between calls)
+        # makes the whole cascade run at level 0 *inside* solve, where
+        # the deadline is armed and the poll aborts it partway
+        solver._pending_units.append(1)
+        clauses.append([1])
+        assert solver.solve(deadline=time.monotonic() - 1.0) is None
+        # the same solver must finish correctly on the next call
+        assert solver.solve() is True
+        model = solver.model()
+        assert check_model(clauses, model)
+        assert all(model[v] for v in range(1, n + 1))
+
+    def test_expired_deadline_returns_immediately(self):
+        solver = CDCLSolver(2)
+        solver.add_clause([1, 2])
+        start = time.monotonic()
+        # already-expired deadline: either instant None or instant True
+        # (the formula is trivial); must not hang
+        solver.solve(deadline=start - 1.0)
+        assert time.monotonic() - start < 0.5
+
+
 class TestSelectorPool:
     def test_selectors_are_stable_per_key(self):
         solver = CDCLSolver()
@@ -225,6 +375,25 @@ class TestSelectorPool:
         assert solver.solve(on_g2) is True and solver.model()[1] is False
         both = pool.assumptions(on=["g1", "g2"])
         assert solver.solve(both) is False
+
+    def test_retire_permanently_deactivates_group(self):
+        solver = CDCLSolver(1)
+        pool = SelectorPool(solver)
+        solver.add_clause(pool.guard([1], "a"))
+        solver.add_clause(pool.guard([-1], "b"))
+        assert solver.solve(pool.assumptions(on=["a", "b"])) is False
+        old = pool.selector("a")
+        assert pool.retire("a") is True
+        assert pool.retire("a") is False  # already gone
+        # the retired selector is pinned false: its group can never
+        # constrain again, even if something still assumes it
+        assert solver.fixed(old) is False
+        assert solver.solve(pool.assumptions(on=["b"])) is True
+        assert solver.model()[1] is False
+        # the key recycles to a fresh literal with a fresh group
+        assert pool.selector("a") != old
+        solver.add_clause(pool.guard([1], "a"))
+        assert solver.solve(pool.assumptions(on=["a", "b"])) is False
 
 
 class TestEncodings:
