@@ -13,6 +13,12 @@
 #   * campaign mode shows no cross-problem reuse, or
 #   * campaign mode is more than 10% slower than fresh engines.
 #
+# Gate 3 (PR 3): unsat-core-guided sweep ablation; emits
+# BENCH_core.json and fails if
+#   * the guided and unguided sweeps disagree on any verdict,
+#   * no benchmark family shows measured vector skips, or
+#   * the guided sweep is more than 10% slower than unguided.
+#
 # Usage: benchmarks/smoke.sh   (from anywhere; CI runs it as-is)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -70,4 +76,32 @@ if camp > 1.10 * fresh:
     sys.exit(f"FAIL: campaign mode {camp:.3f}s is >10% slower than "
              f"fresh engines {fresh:.3f}s")
 print("OK: campaign engine pool within budget")
+EOF
+
+python benchmarks/bench_core.py
+
+python - <<'EOF'
+import json
+import sys
+
+with open("BENCH_core.json") as handle:
+    report = json.load(handle)
+totals = report["totals"]
+
+if not totals["all_agree"]:
+    sys.exit("FAIL: core-guided and unguided sweeps disagree")
+if totals["vectors_skipped"] <= 0:
+    sys.exit("FAIL: core guidance skipped no vectors")
+
+on, off = totals["guided_time"], totals["unguided_time"]
+print(f"core-guided: {on:.3f}s  unguided: {off:.3f}s  "
+      f"speedup: {totals.get('speedup', float('nan')):.2f}x")
+print(f"vectors: {totals['attempts_guided']} attempted + "
+      f"{totals['vectors_skipped']} skipped "
+      f"(vs {totals['attempts_unguided']} unguided; "
+      f"{totals['cores_extracted']} cores)")
+if on > 1.10 * off:
+    sys.exit(f"FAIL: core-guided sweep {on:.3f}s is >10% slower than "
+             f"unguided {off:.3f}s")
+print("OK: core-guided sweep within budget")
 EOF

@@ -9,7 +9,10 @@ Usage (mirrors how the original RInGen binary was driven):
 Prints ``sat`` / ``unsat`` / ``unknown`` on the first line; with
 ``--model`` the regular invariant (finite-model and automata views)
 follows, and with ``--cex`` the refutation derivation is printed for
-UNSAT answers.
+UNSAT answers.  Unknown answers distinguish a completed sweep ("no
+finite model of total size <= N") from budget exhaustion on the reason
+line.  ``--no-cores`` / ``--no-lbd`` switch off the unsat-core-guided
+sweep and the LBD-tier learned-clause retention (ablation baselines).
 
 Campaign batch mode solves many files through one shared
 :class:`~repro.mace.pool.EnginePool`, so signature-compatible problems
@@ -41,11 +44,13 @@ from repro.solvers.sizeelem import SizeElemConfig, SizeElemSolver
 from repro.solvers.verimap import VeriMapConfig, VeriMapSolver
 
 SOLVERS = {
-    "ringen": lambda t: RInGen(RInGenConfig(timeout=t)),
-    "elem": lambda t: ElemSolver(ElemConfig(timeout=t)),
-    "sizeelem": lambda t: SizeElemSolver(SizeElemConfig(timeout=t)),
-    "cvc4-ind": lambda t: InductSolver(InductConfig(timeout=t)),
-    "verimap-iddt": lambda t: VeriMapSolver(VeriMapConfig(timeout=t)),
+    "ringen": lambda t, **kw: RInGen(RInGenConfig(timeout=t, **kw)),
+    "elem": lambda t, **kw: ElemSolver(ElemConfig(timeout=t)),
+    "sizeelem": lambda t, **kw: SizeElemSolver(SizeElemConfig(timeout=t)),
+    "cvc4-ind": lambda t, **kw: InductSolver(InductConfig(timeout=t)),
+    "verimap-iddt": lambda t, **kw: VeriMapSolver(
+        VeriMapConfig(timeout=t)
+    ),
 }
 
 
@@ -78,6 +83,17 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the refutation derivation on UNSAT answers",
     )
+    parser.add_argument(
+        "--no-cores",
+        action="store_true",
+        help="disable the unsat-core-guided size sweep (ringen only)",
+    )
+    parser.add_argument(
+        "--no-lbd",
+        action="store_true",
+        help="legacy length-based learned-clause GC instead of LBD "
+        "tiers (ringen only)",
+    )
     return parser
 
 
@@ -106,13 +122,27 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress the pool summary (verdict lines only)",
     )
+    parser.add_argument(
+        "--no-cores",
+        action="store_true",
+        help="disable the unsat-core-guided size sweep",
+    )
+    parser.add_argument(
+        "--no-lbd",
+        action="store_true",
+        help="legacy length-based learned-clause GC instead of LBD tiers",
+    )
     return parser
 
 
 def campaign_main(argv: Sequence[str]) -> int:
     """The ``campaign`` entry point: batch solving over a shared pool."""
     args = build_campaign_parser().parse_args(argv)
-    pool = None if args.no_share else EnginePool()
+    pool = (
+        None
+        if args.no_share
+        else EnginePool(lbd_retention=not args.no_lbd)
+    )
     failures = 0
     for path in args.files:
         try:
@@ -124,7 +154,12 @@ def campaign_main(argv: Sequence[str]) -> int:
             failures += 1
             continue
         solver = RInGen(
-            RInGenConfig(timeout=args.timeout, engine_pool=pool)
+            RInGenConfig(
+                timeout=args.timeout,
+                engine_pool=pool,
+                core_guided_sweep=not args.no_cores,
+                lbd_retention=not args.no_lbd,
+            )
         )
         start = time.monotonic()
         result = solver.solve(system)
@@ -164,7 +199,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"parse error: {error}", file=sys.stderr)
         return 2
 
-    solver = SOLVERS[args.solver](args.timeout)
+    solver = SOLVERS[args.solver](
+        args.timeout,
+        core_guided_sweep=not args.no_cores,
+        lbd_retention=not args.no_lbd,
+    )
     result = solver.solve(system)
     print(result.status.value)
     if result.is_unknown and result.reason:

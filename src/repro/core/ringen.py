@@ -42,6 +42,13 @@ class RInGenConfig:
     from scratch — kept for the ablation benchmark.
     ``max_learned_clauses`` bounds the learned-clause database the
     incremental engine carries across size vectors.
+    ``core_guided_sweep`` prunes the size sweep with the unsat cores of
+    refuted vectors (skipping candidates a core already covers and
+    stopping early on size-independent refutations); ``lbd_retention``
+    makes the solver's learned-clause GC retain by LBD tier (glue ≤ 2
+    kept unconditionally) instead of by length.  Both default on; the
+    ``benchmarks/bench_core.py`` ablation gates that verdicts are
+    identical without them.
     ``automata_verification`` lets the exact Herbrand check decide
     variable-only clauses on the automata view (sparse products plus the
     memoized emptiness cache) instead of enumerating the finite model.
@@ -67,6 +74,8 @@ class RInGenConfig:
     timeout: Optional[float] = None
     incremental: bool = True
     max_learned_clauses: Optional[int] = 20_000
+    core_guided_sweep: bool = True
+    lbd_retention: bool = True
     automata_verification: bool = True
     engine_pool: Optional[EnginePool] = None
     release_engines: bool = True
@@ -131,6 +140,7 @@ class RInGen:
             pool is not None
             and cfg.incremental
             and cfg.symmetry_breaking == pool.symmetry_breaking
+            and cfg.lbd_retention == pool.lbd_retention
         )
         if pooled:
             finder = pool.finder(
@@ -138,6 +148,7 @@ class RInGen:
                 max_total_size=cfg.max_model_size,
                 max_conflicts_per_size=cfg.max_conflicts_per_size,
                 max_learned_clauses=cfg.max_learned_clauses,
+                core_guided_sweep=cfg.core_guided_sweep,
             )
         else:
             finder = ModelFinder(
@@ -147,6 +158,8 @@ class RInGen:
                 max_conflicts_per_size=cfg.max_conflicts_per_size,
                 incremental=cfg.incremental,
                 max_learned_clauses=cfg.max_learned_clauses,
+                core_guided_sweep=cfg.core_guided_sweep,
+                lbd_retention=cfg.lbd_retention,
             )
         try:
             result = self._model_search(
@@ -183,12 +196,40 @@ class RInGen:
             )
             _accumulate(finder_stats, finder_result.stats)
             if finder_result.model is None:
-                result = unknown(
-                    self.name,
-                    "no finite model within the size/time budget",
-                )
+                # an honest verdict: "no model ≤ N" may only be claimed
+                # when every size vector was actually refuted — a sweep
+                # that ran out of conflict or wall-clock budget anywhere
+                # is merely unknown.  A resumed sweep (min_size > 0,
+                # the Herbrand-retry path) never re-examines the found
+                # model's siblings at its own total size, so its
+                # verdict is never definitive either.
+                complete = finder_result.complete and min_size == 0
+                if complete and finder_result.stats.hopeless:
+                    kind = "complete"
+                    reason = (
+                        "no finite model exists at any size "
+                        "(size-independent refutation)"
+                    )
+                elif complete:
+                    kind = "complete"
+                    reason = (
+                        f"no finite model of total size <= "
+                        f"{cfg.max_model_size} (every vector refuted)"
+                    )
+                elif min_size:
+                    kind = "herbrand"
+                    reason = (
+                        "models found but none passes the Herbrand "
+                        "check within the remaining budget"
+                    )
+                else:
+                    kind = "budget"
+                    reason = "unknown: size/time budget exhausted"
+                result = unknown(self.name, reason)
                 result.elapsed = time.monotonic() - start
                 result.details["attempts"] = finder_stats.attempts
+                result.details["complete"] = complete
+                result.details["verdict_kind"] = kind
                 result.details["finder"] = finder_stats.as_dict()
                 return result
             model = RegularModel.from_finite_model(
@@ -204,6 +245,8 @@ class RInGen:
                         "models found but none passes the Herbrand check",
                     )
                     result.elapsed = time.monotonic() - start
+                    result.details["complete"] = False
+                    result.details["verdict_kind"] = "herbrand"
                     result.details["finder"] = finder_stats.as_dict()
                     return result
                 continue
@@ -223,6 +266,7 @@ class RInGen:
         result = sat(self.name, model)
         result.elapsed = time.monotonic() - start
         result.details["model_size"] = model.size()
+        result.details["complete"] = True
         result.details["finder_attempts"] = finder_stats.attempts
         result.details["finder"] = finder_stats.as_dict()
         return result
@@ -238,8 +282,14 @@ def _accumulate(total: FinderStats, part: FinderStats) -> None:
     total.clauses_encoded += part.clauses_encoded
     total.clauses_reused += part.clauses_reused
     total.learned_total += part.learned_total
+    total.learned_glue += part.learned_glue
     total.learned_kept = part.learned_kept
     total.solver_resets += part.solver_resets
+    total.vectors_refuted += part.vectors_refuted
+    total.vectors_exhausted += part.vectors_exhausted
+    total.vectors_skipped += part.vectors_skipped
+    total.cores_extracted += part.cores_extracted
+    total.hopeless = total.hopeless or part.hopeless
     total.engine_shared = total.engine_shared or part.engine_shared
     total.cross_problem_clauses = max(
         total.cross_problem_clauses, part.cross_problem_clauses

@@ -115,8 +115,23 @@ def campaign_report(
         reused = sum(f["clauses_reused"] for _, f in finder_rows)
         learned_total = sum(f["learned_total"] for _, f in finder_rows)
         learned_kept = sum(f["learned_kept"] for _, f in finder_rows)
+        learned_glue = sum(
+            f.get("learned_glue", 0) for _, f in finder_rows
+        )
         attempts = sum(f["attempts"] for _, f in finder_rows)
         resets = sum(f["solver_resets"] for _, f in finder_rows)
+        refuted = sum(
+            f.get("vectors_refuted", 0) for _, f in finder_rows
+        )
+        exhausted = sum(
+            f.get("vectors_exhausted", 0) for _, f in finder_rows
+        )
+        skipped = sum(
+            f.get("vectors_skipped", 0) for _, f in finder_rows
+        )
+        cores = sum(
+            f.get("cores_extracted", 0) for _, f in finder_rows
+        )
         incremental_runs = sum(
             1 for _, f in finder_rows if f["incremental"]
         )
@@ -129,14 +144,55 @@ def campaign_report(
                     ["runs with finder stats", len(finder_rows)],
                     ["incremental runs", incremental_runs],
                     ["size vectors attempted", attempts],
+                    ["vectors refuted (proven unsat)", refuted],
+                    ["vectors exhausted (budget, unknown)", exhausted],
+                    ["vectors skipped by unsat cores", skipped],
+                    ["unsat cores extracted", cores],
                     ["clauses encoded", encoded],
                     ["clauses reused across vectors", reused],
                     ["reuse ratio", f"{reuse_pct:.1f}%"],
                     ["learned clauses derived", learned_total],
+                    ["glue clauses (LBD <= 2) derived", learned_glue],
                     ["learned clauses kept at end", learned_kept],
                     ["engine resets", resets],
                 ],
             )
+        )
+        sections.append("")
+
+    # honest unknown verdicts: a completed sweep proves "no model <= N"
+    # while a budget-cut sweep proves nothing — report which was which
+    unknown_rows = [
+        record
+        for record in campaign.records
+        if record.solver == "ringen" and record.status is Status.UNKNOWN
+    ]
+    if unknown_rows:
+        sections.append("## Model finder — unknown verdicts")
+        sections.append("")
+        rows = []
+        for record in unknown_rows:
+            # structured key set by ringen; records without it (solver
+            # crashes, old artifacts) fall into the "other" bucket
+            kind = record.details.get("verdict_kind")
+            if record.details.get("complete"):
+                verdict = "no model within size bound (sweep complete)"
+            elif kind == "herbrand":
+                # raising budgets is not the remedy here
+                verdict = "unknown (model verification failed)"
+            elif kind == "budget":
+                verdict = "unknown (budget exhausted)"
+            else:
+                verdict = "unknown (other)"
+            rows.append(
+                [
+                    f"{record.problem.suite}/{record.problem.name}",
+                    verdict,
+                    record.reason,
+                ]
+            )
+        sections.append(
+            markdown_table(["problem", "verdict", "detail"], rows)
         )
         sections.append("")
 

@@ -92,6 +92,35 @@ size vector: every problem containing it is ``hopeless`` and its sweep
 stops early.  :class:`EnginePool` in :mod:`repro.mace.pool` keys
 engines by a canonical signature fingerprint and hands out
 :class:`ModelFinder` instances riding a shared engine.
+
+Unsat-core–guided sweep and verdict completeness
+------------------------------------------------
+
+Every vector is solved purely under assumptions, so a refuted vector
+yields an **unsat core** (:meth:`~repro.sat.solver.CDCLSolver.core`)
+over exactly three kinds of literal: the problem's clause-group
+selectors, positive existence frontiers ``ex[s, k-1]`` ("sort ``s`` has
+at least ``k`` elements") and negative bounds ``-ex[s, k]`` ("at most
+``k``").  The core is a semantic fact — database ∧ core ⊢ ⊥, and the
+database only ever grows — so it transfers to any other size vector
+whose assumptions *entail* it through the prefix chains: a candidate
+``k'`` is already refuted if, for every sort, it still meets each lower
+bound the core used (``k'_s ≥ k_s``) and each upper bound
+(``k'_s ≤ k_s``).  :meth:`ModelFinder.search` keeps each problem's
+refutation cores on its context and skips covered candidates without
+touching the solver (``FinderStats.vectors_skipped``); a core that
+mentions *no* existence selector at all proves the problem unsat at
+every size — a sound, earlier ``ctx.hopeless`` than waiting for a group
+selector to be pinned false at level 0.
+
+The sweep also distinguishes *refuted* from *exhausted* vectors: a
+solver ``None`` (conflict budget or deadline ran out) is not a
+refutation, so ``FinderResult.complete`` is ``True`` — licensing the
+claim "no model of total size ≤ N" — only when every candidate vector
+was refuted (directly or via a covering core) and the sweep was not cut
+short.  ``core_guided_sweep=False`` disables the pruning (ablation;
+``benchmarks/bench_core.py`` gates that verdicts are identical either
+way).
 """
 
 from __future__ import annotations
@@ -210,7 +239,18 @@ class FinderStats:
     the quantity the incremental engine exists to maximise.
     ``learned_total`` counts conflict clauses derived during the search
     and ``learned_kept`` the learned clauses still alive (carried across
-    attempts) when it ended.
+    attempts) when it ended; ``learned_glue`` is the subset of
+    ``learned_total`` with LBD ≤ 2 (kept unconditionally by the LBD
+    retention policy).
+
+    The sweep-verdict counters partition the candidate vectors:
+    ``vectors_refuted`` were proven unsat by the solver,
+    ``vectors_exhausted`` hit the per-size conflict/deadline budget
+    (*not* a refutation — see ``FinderResult.complete``), and
+    ``vectors_skipped`` were pruned because a previously extracted unsat
+    core (``cores_extracted`` of them carried usable size bounds)
+    already covers them.  ``hopeless`` records a size-independent
+    refutation: no vector can ever succeed.
     """
 
     attempts: int = 0
@@ -222,8 +262,15 @@ class FinderStats:
     clauses_reused: int = 0
     learned_total: int = 0
     learned_kept: int = 0
+    learned_glue: int = 0
     solver_resets: int = 0
     incremental: bool = True
+    # unsat-core–guided sweep accounting (see the module docstring)
+    vectors_refuted: int = 0
+    vectors_exhausted: int = 0
+    vectors_skipped: int = 0
+    cores_extracted: int = 0
+    hopeless: bool = False
     # campaign mode: True when this search ran on a pool-shared engine,
     # and the clauses other problems had already contributed to that
     # engine when this finder attached (cross-problem reuse)
@@ -237,14 +284,35 @@ class FinderStats:
 
 @dataclass
 class FinderResult:
-    """Outcome of the finite model search."""
+    """Outcome of the finite model search.
+
+    ``complete`` reports whether the sweep's verdict is *definitive*:
+    ``True`` when a model was found, or when every candidate size
+    vector up to the bound was refuted (directly, by a covering unsat
+    core, or by a size-independent ``hopeless`` proof) — the only
+    situations licensing "no model of total size ≤ N".  It is ``False``
+    whenever any vector merely exhausted its conflict/deadline budget or
+    the sweep was cut short by the search deadline, in which case the
+    right reading is "unknown (budget)".
+    """
 
     model: Optional[FiniteModel]
     stats: FinderStats
+    complete: bool = False
 
     @property
     def found(self) -> bool:
         return self.model is not None
+
+
+@dataclass
+class _VectorOutcome:
+    """What one :meth:`_IncrementalEngine.try_vector` call established."""
+
+    model: Optional[FiniteModel] = None
+    # True: the vector is proven to have no model (solver unsat);
+    # False with model None: budget/deadline exhausted — indeterminate
+    refuted: bool = False
 
 
 def size_vectors(
@@ -414,6 +482,7 @@ class _ProblemContext:
         "hopeless",
         "released",
         "joined_at_clauses",
+        "refuted_cores",
     )
 
     def __init__(
@@ -427,6 +496,12 @@ class _ProblemContext:
         self.cur: dict[Sort, int] = {}
         # resolved lazily (and re-resolved after an engine reset)
         self.groups: Optional[list[_ClauseGroup]] = None
+        # unsat cores of refuted size vectors as (lower, upper) bound
+        # maps over sorts; like ``hopeless`` these are semantic facts
+        # about the problem (the clause database only grows and the
+        # existence chains are permanent), so they survive engine resets
+        # and later searches on the same context
+        self.refuted_cores: list[tuple[dict[Sort, int], dict[Sort, int]]] = []
 
 
 class _IncrementalEngine:
@@ -448,17 +523,20 @@ class _IncrementalEngine:
         *,
         symmetry_breaking: bool = True,
         gc_window: int = 8,
+        lbd_retention: bool = True,
     ):
         self.sorts = list(sorts)
         self.functions = list(functions)
         self.predicates = list(predicates)
         self.symmetry_breaking = symmetry_breaking
+        self.lbd_retention = lbd_retention
         # how many problem registrations an unreferenced clause group
         # survives before its selector is retired and its clauses
         # dropped (campaign hygiene; see _gc_groups)
         self.gc_window = gc_window
         self._folded_added = 0
         self._folded_learned = 0
+        self._folded_glue = 0
         self._tick_count = 0
         self._deadline: Optional[float] = None
         self._contexts: list[_ProblemContext] = []
@@ -477,7 +555,7 @@ class _IncrementalEngine:
 
     # -- lifecycle ---------------------------------------------------------
     def _fresh(self) -> None:
-        self.solver = CDCLSolver()
+        self.solver = CDCLSolver(lbd_retention=self.lbd_retention)
         self.selectors = SelectorPool(self.solver)
         self.cur: dict[Sort, int] = {s: 0 for s in self.sorts}
         # nested variable tables: one symbol hash to reach a table keyed
@@ -595,6 +673,7 @@ class _IncrementalEngine:
         stats.solver_resets += 1
         self._folded_added += self.solver.stats.clauses_added
         self._folded_learned += self.solver.stats.learned
+        self._folded_glue += self.solver.stats.glue_learned
         self._fresh()
 
     @property
@@ -604,6 +683,10 @@ class _IncrementalEngine:
     @property
     def total_learned(self) -> int:
         return self._folded_learned + self.solver.stats.learned
+
+    @property
+    def total_glue(self) -> int:
+        return self._folded_glue + self.solver.stats.glue_learned
 
     # -- small helpers -----------------------------------------------------
     def _add(self, literals: list[int]) -> None:
@@ -1009,6 +1092,23 @@ class _IncrementalEngine:
         return True
 
     # -- solving -----------------------------------------------------------
+    def vector_covered(
+        self, ctx: _ProblemContext, sizes: dict[Sort, int]
+    ) -> bool:
+        """True if a stored refutation core already refutes ``sizes``.
+
+        A core with lower bounds L and upper bounds U transfers to every
+        vector meeting all of them: the existence prefix chains make
+        that vector's assumptions entail the core's, so it is unsat
+        without re-solving (see the module docstring).
+        """
+        for lower, upper in ctx.refuted_cores:
+            if all(sizes[s] >= k for s, k in lower.items()) and all(
+                sizes[s] <= k for s, k in upper.items()
+            ):
+                return True
+        return False
+
     def try_vector(
         self,
         ctx: _ProblemContext,
@@ -1018,7 +1118,16 @@ class _IncrementalEngine:
         deadline: Optional[float] = None,
         max_conflicts: Optional[int] = None,
         max_learned_clauses: Optional[int] = None,
-    ) -> Optional[FiniteModel]:
+        collect_cores: bool = True,
+    ) -> _VectorOutcome:
+        """Attempt one size vector; says *how* it failed, not just that.
+
+        Distinguishing a refutation (solver unsat — the vector provably
+        has no model) from budget/deadline exhaustion (indeterminate) is
+        what lets :meth:`ModelFinder.search` report an honest
+        ``complete`` verdict; refutations additionally carry their unsat
+        core into ``ctx.refuted_cores`` when ``collect_cores`` is on.
+        """
         if ctx.released:
             raise FinderError(
                 "problem context was released from its engine"
@@ -1029,7 +1138,8 @@ class _IncrementalEngine:
         pre_added = self.solver.stats.clauses_added
         grown = self.ensure(ctx, sizes)
         if grown is None:
-            return None  # deadline hit mid-encoding
+            stats.vectors_exhausted += 1
+            return _VectorOutcome()  # deadline hit mid-encoding
         if not self._ok:
             # Level-0 contradiction in the shared database: it can no
             # longer discriminate between size vectors, so rebuild for
@@ -1037,26 +1147,37 @@ class _IncrementalEngine:
             self.reset(stats)
             pre_added = 0
             if self.ensure(ctx, sizes) is None:
-                return None
+                stats.vectors_exhausted += 1
+                return _VectorOutcome()
             if not self._ok:
                 # A fresh encoding is contradictory without assumptions.
                 # Every clause is valid at every size, so the conflict is
                 # size-independent: no vector can ever succeed.
                 ctx.hopeless = True
-                return None
+                stats.vectors_refuted += 1
+                return _VectorOutcome(refuted=True)
         stats.clauses_reused += pre_added
         limit = max_learned_clauses
         if limit is not None and len(self.solver.learned_clauses) > limit:
             self.solver.reduce_learned(limit // 2)
-        # a problem is activated as the set of its groups' selectors
-        assumptions: list[int] = [
-            self._sel(g) for g in self._resolve_groups(ctx)
-        ]
+        # a problem is activated as the set of its groups' selectors;
+        # each assumption's *meaning* is remembered so an unsat core can
+        # be read back as size bounds
+        assumptions: list[int] = []
+        meaning: dict[int, tuple] = {}
+        for g in self._resolve_groups(ctx):
+            sel = self._sel(g)
+            assumptions.append(sel)
+            meaning[sel] = ("group",)
         for s in self.sorts:
             k = sizes[s]
             if k >= 2:
-                assumptions.append(self._ex(s, k - 1))
-            assumptions.append(-self._ex(s, k))
+                lo = self._ex(s, k - 1)
+                assumptions.append(lo)
+                meaning[lo] = ("lo", s, k)
+            hi = -self._ex(s, k)
+            assumptions.append(hi)
+            meaning[hi] = ("hi", s, k)
         outcome = self.solver.solve(
             assumptions,
             max_conflicts=max_conflicts,
@@ -1064,19 +1185,64 @@ class _IncrementalEngine:
         )
         stats.sat_vars = max(stats.sat_vars, self.solver.num_vars)
         stats.sat_clauses = max(stats.sat_clauses, len(self.solver.clauses))
-        if not outcome:
-            if outcome is False and any(
-                g.sel is not None
-                and self.solver.fixed(g.sel) is False
-                for g in (ctx.groups or ())
-            ):
-                # the database alone entails the negation of one of the
-                # problem's selectors: that clause is unsatisfiable
-                # under every assumption set, i.e. at every size vector
-                # — stop the sweep early
-                ctx.hopeless = True
-            return None
-        return self._decode(sizes, self.solver.model())
+        if outcome is True:
+            return _VectorOutcome(
+                model=self._decode(sizes, self.solver.model())
+            )
+        if outcome is None:
+            # conflict budget or deadline exhausted: indeterminate, NOT
+            # a refutation — the sweep's verdict must not claim it
+            stats.vectors_exhausted += 1
+            return _VectorOutcome()
+        stats.vectors_refuted += 1
+        if any(
+            g.sel is not None
+            and self.solver.fixed(g.sel) is False
+            for g in (ctx.groups or ())
+        ):
+            # the database alone entails the negation of one of the
+            # problem's selectors: that clause is unsatisfiable
+            # under every assumption set, i.e. at every size vector
+            # — stop the sweep early
+            ctx.hopeless = True
+        if collect_cores:
+            self._record_core(ctx, meaning, stats)
+        return _VectorOutcome(refuted=True)
+
+    def _record_core(
+        self,
+        ctx: _ProblemContext,
+        meaning: dict[int, tuple],
+        stats: FinderStats,
+    ) -> None:
+        """Translate the refutation's unsat core into reusable bounds."""
+        core = self.solver.core()
+        if not core:
+            # an empty core means the shared database alone is unsat —
+            # that is the reset safety valve's business, not evidence
+            # about this particular problem
+            return
+        lower: dict[Sort, int] = {}
+        upper: dict[Sort, int] = {}
+        for lit in core:
+            tag = meaning.get(lit)
+            if tag is None:  # not one of our assumptions: don't trust it
+                return
+            kind = tag[0]
+            if kind == "lo":
+                lower[tag[1]] = max(lower.get(tag[1], 0), tag[2])
+            elif kind == "hi":
+                upper[tag[1]] = min(upper.get(tag[1], tag[2]), tag[2])
+        stats.cores_extracted += 1
+        if not lower and not upper:
+            # the refutation rests on clause-group selectors alone —
+            # no existence bound was involved, so the problem is unsat
+            # at *every* size vector
+            ctx.hopeless = True
+            return
+        bounds = (lower, upper)
+        if bounds not in ctx.refuted_cores:
+            ctx.refuted_cores.append(bounds)
 
     def _decode(
         self, sizes: dict[Sort, int], assignment: dict[int, bool]
@@ -1127,6 +1293,13 @@ class ModelFinder:
     The engine's signature lists must match the system's exactly — the
     :class:`~repro.mace.pool.EnginePool` guarantees this by keying
     engines on a canonical signature fingerprint.
+
+    ``core_guided_sweep`` (default on) prunes the sweep with the unsat
+    cores of refuted vectors and enables the size-independent
+    ``hopeless`` shortcut; ``lbd_retention`` selects the solver's
+    LBD-tier learned-clause GC.  Both exist for the
+    ``benchmarks/bench_core.py`` ablation, which checks verdicts are
+    identical with the guidance on and off.
     """
 
     def __init__(
@@ -1141,6 +1314,8 @@ class ModelFinder:
         incremental: bool = True,
         max_learned_clauses: Optional[int] = 20_000,
         engine: Optional[_IncrementalEngine] = None,
+        core_guided_sweep: bool = True,
+        lbd_retention: bool = True,
     ):
         self.system = system
         self.max_total_size = max_total_size
@@ -1150,6 +1325,8 @@ class ModelFinder:
         self.deadline = deadline
         self.incremental = incremental
         self.max_learned_clauses = max_learned_clauses
+        self.core_guided_sweep = core_guided_sweep
+        self.lbd_retention = lbd_retention
         counter = itertools.count()
         self.flat_clauses = [
             flatten_clause(cl, counter) for cl in system.clauses
@@ -1171,6 +1348,7 @@ class ModelFinder:
                 or engine.functions != self.functions
                 or engine.predicates != self.predicates
                 or engine.symmetry_breaking != symmetry_breaking
+                or engine.lbd_retention != lbd_retention
             ):
                 raise FinderError(
                     "shared engine signature does not match the system "
@@ -1193,7 +1371,21 @@ class ModelFinder:
         ``deadline`` *replaces* the finder's deadline from here on
         (callers resuming a sweep supply a fresh budget each call while
         the engine keeps its state); omit it to keep the current one.
+
+        The returned :class:`FinderResult` carries ``complete=True``
+        only when the verdict is definitive: a model was found, or
+        every candidate vector was *refuted* — directly, by a covering
+        unsat core (``vectors_skipped``), or by a size-independent
+        hopeless proof.  A vector that merely ran out of conflict or
+        wall-clock budget leaves the sweep incomplete.
         """
+        if self._shared_engine and not self.incremental:
+            # defensive re-check of the constructor invariant (the flag
+            # is a plain attribute): resetting a pooled engine would
+            # wipe every other problem's state in it
+            raise FinderError(
+                "a shared engine requires incremental mode"
+            )
         if deadline is not _UNSET:
             self.deadline = deadline  # type: ignore[assignment]
         min_total = (
@@ -1205,6 +1397,7 @@ class ModelFinder:
                 self.functions,
                 self.predicates,
                 symmetry_breaking=self.symmetry_breaking,
+                lbd_retention=self.lbd_retention,
             )
         engine = self._engine
         if self._ctx is None:
@@ -1219,16 +1412,22 @@ class ModelFinder:
         )
         base_added = engine.total_added
         base_learned = engine.total_learned
+        base_glue = engine.total_glue
         start = time.monotonic()
+        complete = True
 
         def finish(model: Optional[FiniteModel]) -> FinderResult:
             stats.elapsed = time.monotonic() - start
             stats.clauses_encoded = engine.total_added - base_added
             stats.learned_total = engine.total_learned - base_learned
+            stats.learned_glue = engine.total_glue - base_glue
             stats.learned_kept = len(engine.solver.learned_clauses)
+            stats.hopeless = ctx.hopeless
             if model is not None:
                 stats.model_size = model.size()
-            return FinderResult(model, stats)
+            return FinderResult(
+                model, stats, complete=model is not None or complete
+            )
 
         if ctx.hopeless:
             return finish(None)
@@ -1236,22 +1435,36 @@ class ModelFinder:
             self.sorts, self.max_total_size, min_total
         ):
             if self.deadline is not None and time.monotonic() > self.deadline:
+                complete = False  # sweep cut short: verdict not definitive
                 break
+            if self.core_guided_sweep and engine.vector_covered(ctx, sizes):
+                # a previous refutation's core transfers to this vector:
+                # it is proven unsat without touching the solver
+                stats.vectors_skipped += 1
+                continue
             stats.attempts += 1
             if not self.incremental:
                 engine.reset(stats)
-            model = engine.try_vector(
+            outcome = engine.try_vector(
                 ctx,
                 sizes,
                 stats,
                 deadline=self.deadline,
                 max_conflicts=self.max_conflicts,
                 max_learned_clauses=self.max_learned_clauses,
+                collect_cores=self.core_guided_sweep,
             )
-            if model is not None:
-                return finish(model)
+            if outcome.model is not None:
+                return finish(outcome.model)
+            if not outcome.refuted:
+                # budget/deadline exhaustion is not a refutation
+                complete = False
             if ctx.hopeless:
-                break  # size-independent contradiction: no model exists
+                # size-independent contradiction: no model exists at
+                # ANY size — definitive even if some earlier vector
+                # had merely exhausted its budget
+                complete = True
+                break
         return finish(None)
 
 
@@ -1265,6 +1478,8 @@ def find_model(
     min_total_size: int = 0,
     incremental: bool = True,
     max_learned_clauses: Optional[int] = 20_000,
+    core_guided_sweep: bool = True,
+    lbd_retention: bool = True,
 ) -> FinderResult:
     """Search for a finite model of a constraint-free CHC system."""
     deadline = None if timeout is None else time.monotonic() + timeout
@@ -1277,5 +1492,7 @@ def find_model(
         min_total_size=min_total_size,
         incremental=incremental,
         max_learned_clauses=max_learned_clauses,
+        core_guided_sweep=core_guided_sweep,
+        lbd_retention=lbd_retention,
     )
     return finder.search()

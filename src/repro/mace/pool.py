@@ -121,10 +121,15 @@ class EnginePool:
         symmetry_breaking: bool = True,
         max_engines: Optional[int] = 8,
         max_problems_per_engine: Optional[int] = 64,
+        lbd_retention: bool = True,
     ):
         self.symmetry_breaking = symmetry_breaking
         self.max_engines = max_engines
         self.max_problems_per_engine = max_problems_per_engine
+        # learned-clause GC policy of every engine this pool builds;
+        # finders riding a pooled engine must agree with it (the
+        # ModelFinder constructor enforces the match)
+        self.lbd_retention = lbd_retention
         self.stats = PoolStats()
         self._engines: "OrderedDict[tuple, _PooledEngine]" = OrderedDict()
 
@@ -159,6 +164,7 @@ class EnginePool:
                         system.predicates.values(), key=lambda p: p.name
                     ),
                     symmetry_breaking=self.symmetry_breaking,
+                    lbd_retention=self.lbd_retention,
                 )
             )
             self._engines[key] = slot
@@ -185,6 +191,7 @@ class EnginePool:
         deadline: Optional[float] = None,
         min_total_size: int = 0,
         max_learned_clauses: Optional[int] = 20_000,
+        core_guided_sweep: bool = True,
     ) -> ModelFinder:
         """A ModelFinder for ``system`` riding the pooled engine."""
         slot = self._slot_for(system)
@@ -200,6 +207,8 @@ class EnginePool:
             incremental=True,
             max_learned_clauses=max_learned_clauses,
             engine=engine,
+            core_guided_sweep=core_guided_sweep,
+            lbd_retention=self.lbd_retention,
         )
         self.stats.problems += 1
         slot.problems_hosted += 1

@@ -10,6 +10,21 @@ RInGen.  This module implements the required SAT engine from scratch:
 * VSIDS-style activity decision heuristic with phase saving,
 * Luby restarts and learned-clause garbage collection.
 
+Conflict quality and unsat cores (the model finder's guidance layer):
+
+* every learned clause carries its **LBD** ("literals blocks distance",
+  the number of distinct decision levels among its literals — Audemard &
+  Simon's glue measure) and a bump/decay **activity**;
+  :meth:`CDCLSolver.reduce_learned` retains by LBD tier instead of
+  length, keeping *glue* clauses (LBD ≤ 2) unconditionally;
+* when :meth:`CDCLSolver.solve` answers ``False`` under assumptions, a
+  MiniSat-style final-conflict analysis records the **unsat core** — the
+  subset of the assumptions the refutation actually used — retrievable
+  via :meth:`CDCLSolver.core`.  Every ``False`` path produces a core,
+  including the early conflict while the assumptions themselves are
+  being propagated.  The model finder reads cores over its existence
+  and clause-group selectors to prune the size sweep.
+
 Literals are encoded as nonzero integers (DIMACS convention): variable
 ``v`` appears as ``+v`` / ``-v``.
 """
@@ -52,6 +67,10 @@ class SatStats:
     learned: int = 0
     clauses_added: int = 0
     solve_calls: int = 0
+    # conflict-quality layer: glue clauses (LBD <= 2) among `learned`,
+    # and the number of unsat cores extracted by final-conflict analysis
+    glue_learned: int = 0
+    cores: int = 0
 
 
 def _luby(i: int) -> int:
@@ -64,10 +83,21 @@ def _luby(i: int) -> int:
 
 
 class CDCLSolver:
-    """Conflict-driven clause learning SAT solver."""
+    """Conflict-driven clause learning SAT solver.
 
-    def __init__(self, num_vars: int = 0):
+    ``lbd_retention`` selects the learned-clause GC policy of
+    :meth:`reduce_learned`: LBD tiers with unconditional glue retention
+    (the default, Glucose-style) or the legacy shortest-first policy
+    (kept for the ablation benchmark).
+    """
+
+    #: learned clauses at or below this LBD are "glue" — they connect
+    #: decision levels so tightly that dropping them is never worth it
+    GLUE_LBD = 2
+
+    def __init__(self, num_vars: int = 0, *, lbd_retention: bool = True):
         self.num_vars = 0
+        self.lbd_retention = lbd_retention
         self.clauses: list[list[int]] = []
         self.learned_clauses: list[list[int]] = []
         self.stats = SatStats()
@@ -86,6 +116,18 @@ class CDCLSolver:
         self._queue_head = 0
         self._var_inc = 1.0
         self._var_decay = 0.95
+        # learned-clause metadata, keyed by id() of the clause list
+        # (clauses are plain lists shared with the watch lists, so a
+        # side table is the only representation that leaves the hot
+        # propagation loop untouched); entries are removed whenever the
+        # clause is dropped in reduce_learned / simplify
+        self._lbd: dict[int, int] = {}
+        self._cla_act: dict[int, float] = {}
+        self._cla_inc = 1.0
+        self._cla_decay = 0.999
+        # unsat core of the last solve() call that returned False under
+        # assumptions (None while the last answer was not False)
+        self._core: Optional[list[int]] = None
         # globally valid unit facts learned while solving under
         # assumptions; pinned at level 0 by the next solve() call so
         # they survive the backtrack that clears assumption levels
@@ -329,8 +371,16 @@ class CDCLSolver:
         return None
 
     # -- conflict analysis ---------------------------------------------------
-    def _analyze(self, conflict: list[int]) -> tuple[list[int], int]:
-        """First-UIP learning; returns (learned clause, backjump level)."""
+    def _analyze(self, conflict: list[int]) -> tuple[list[int], int, int]:
+        """First-UIP learning; returns (learned clause, backjump level, LBD).
+
+        The LBD (glue) of the learned clause — the number of distinct
+        decision levels among its literals — is computed here, while the
+        levels are still live, and drives :meth:`reduce_learned`'s
+        retention tiers.  Learned clauses consulted as reasons during
+        the resolution walk get their activity bumped (bump/decay in the
+        Glucose style), so retention can break LBD ties by usefulness.
+        """
         learned: list[int] = [0]  # slot 0 holds the asserting literal
         seen = [False] * (self.num_vars + 1)
         counter = 0
@@ -338,8 +388,16 @@ class CDCLSolver:
         reason: Optional[list[int]] = conflict
         index = len(self._trail)
         current_level = len(self._trail_lim)
+        cla_act = self._cla_act
         while True:
             assert reason is not None
+            rid = id(reason)
+            if rid in cla_act:
+                cla_act[rid] += self._cla_inc
+                if cla_act[rid] > 1e20:
+                    for cid in cla_act:
+                        cla_act[cid] *= 1e-20
+                    self._cla_inc *= 1e-20
             for q in reason:
                 if trail_lit is not None and q == trail_lit:
                     continue  # skip the literal this reason clause asserted
@@ -374,7 +432,8 @@ class CDCLSolver:
                 key=lambda i: self._level[abs(learned[i])],
             )
             learned[1], learned[best] = learned[best], learned[1]
-        return learned, back_level
+        lbd = len({self._level[abs(q)] for q in learned})
+        return learned, back_level, lbd
 
     def _bump(self, var: int) -> None:
         self._activity[var] += self._var_inc
@@ -388,6 +447,7 @@ class CDCLSolver:
 
     def _decay(self) -> None:
         self._var_inc /= self._var_decay
+        self._cla_inc /= self._cla_decay
 
     def _backtrack(self, level: int) -> None:
         if len(self._trail_lim) <= level:
@@ -431,9 +491,14 @@ class CDCLSolver:
         same allowance.  Learned clauses, VSIDS activity and saved phases
         all persist across calls, which is what makes assumption-based
         incremental solving pay off.
+
+        A ``False`` answer additionally records the unsat core — the
+        subset of ``assumptions`` the refutation used — available from
+        :meth:`core` until the next :meth:`solve` call.
         """
         self.stats.solve_calls += 1
         self._model_ready = False
+        self._core = None
         self._deadline = deadline
         self._deadline_hit = False
         try:
@@ -441,7 +506,70 @@ class CDCLSolver:
         finally:
             self._deadline = None
         self._model_ready = outcome is True
+        if outcome is False:
+            if self._core is None:
+                # unsat before any assumption mattered (inconsistent
+                # database): the empty core
+                self._core = []
+            self.stats.cores += 1
+        else:
+            self._core = None
         return outcome
+
+    def core(self) -> list[int]:
+        """The failed-assumption subset of the last unsat :meth:`solve`.
+
+        Only available while the last :meth:`solve` call returned
+        ``False``; the returned literals are a subset of that call's
+        assumptions whose conjunction with the clause database is
+        unsatisfiable (re-assuming exactly the core yields ``False``
+        again).  An empty core means the database alone is unsat.
+        """
+        if self._core is None:
+            raise SatError(
+                "core() is only available after solve() returned False"
+            )
+        return list(self._core)
+
+    def _analyze_final(
+        self, conflict: Iterable[int], include: Optional[int] = None
+    ) -> list[int]:
+        """Final-conflict analysis: the assumptions a failure rests on.
+
+        Walks the implication graph backwards from the literals of a
+        falsified clause (MiniSat's ``analyzeFinal``), collecting the
+        trail's reason-free decision literals — at the points this is
+        called, every decision level on the trail is an assumption
+        level, so those are exactly the assumptions used.  Level-0
+        literals are consequences of the database alone and are
+        excluded.  ``include`` prepends a literal known to belong to the
+        core (the assumption that failed at enqueue time, which never
+        made it onto the trail).
+        """
+        core: list[int] = [] if include is None else [include]
+        if not self._trail_lim:
+            return core
+        seen: set[int] = set()
+        for lit in conflict:
+            var = abs(lit)
+            if self._level[var] > 0:
+                seen.add(var)
+        limit = self._trail_lim[0]
+        for i in range(len(self._trail) - 1, limit - 1, -1):
+            lit = self._trail[i]
+            var = abs(lit)
+            if var not in seen:
+                continue
+            seen.discard(var)
+            reason = self._reason[var]
+            if reason is None:
+                core.append(lit)
+            else:
+                for q in reason:
+                    qv = abs(q)
+                    if qv != var and self._level[qv] > 0:
+                        seen.add(qv)
+        return core
 
     def _solve(
         self,
@@ -471,12 +599,19 @@ class CDCLSolver:
             return None
         for lit in assumptions:
             if self._value(lit) == FALSE_VAL:
+                # the assumption is already refuted by the database plus
+                # the assumptions enqueued so far: it belongs to the
+                # core itself, along with whatever implied its negation
+                self._core = self._analyze_final([lit], include=lit)
                 return False
             if self._value(lit) == UNASSIGNED:
                 self._trail_lim.append(len(self._trail))
                 self._enqueue(lit, None)
                 conflict = self._propagate()
                 if conflict is not None:
+                    # the early assumption-propagation conflict: analyze
+                    # before backtracking wipes the levels
+                    self._core = self._analyze_final(conflict)
                     self._backtrack(0)
                     return False
                 if self._deadline_hit:
@@ -516,8 +651,11 @@ class CDCLSolver:
                     self._backtrack(0)
                     return None
                 if len(self._trail_lim) == base_level:
+                    # conflict with no decision beyond the assumptions:
+                    # the final conflict — its analysis is the core
+                    self._core = self._analyze_final(conflict)
                     return False
-                learned, back_level = self._analyze(conflict)
+                learned, back_level, lbd = self._analyze(conflict)
                 self._backtrack(max(back_level, base_level))
                 if len(learned) == 1:
                     self._backtrack(base_level)
@@ -525,10 +663,17 @@ class CDCLSolver:
                         # keep the fact beyond this call (see solve())
                         self._pending_units.append(learned[0])
                     if not self._enqueue(learned[0], None):
+                        # the database-implied unit is false under the
+                        # assumptions alone
+                        self._core = self._analyze_final([learned[0]])
                         return False
                 else:
                     self.learned_clauses.append(learned)
                     self.stats.learned += 1
+                    self._lbd[id(learned)] = lbd
+                    self._cla_act[id(learned)] = self._cla_inc
+                    if lbd <= self.GLUE_LBD:
+                        self.stats.glue_learned += 1
                     self._watch(learned)
                     self._enqueue(learned[0], learned)
                 self._decay()
@@ -549,21 +694,56 @@ class CDCLSolver:
     def reduce_learned(self, keep: int) -> int:
         """Garbage-collect the learned-clause database down to ``keep``.
 
-        Keeps the shortest learned clauses (they propagate the most) and
-        unhooks the rest from the watch lists.  Backtracks to level 0
-        first, where no learned clause is ever consulted as a reason
-        again, so removal cannot invalidate an in-flight analysis.
-        Returns the number of clauses dropped.  Incremental callers use
-        this between :meth:`solve` calls to bound propagation cost over
-        long solving sweeps.
+        With ``lbd_retention`` (the default) clauses are retained by LBD
+        tier: glue clauses (LBD ≤ :data:`GLUE_LBD`) are kept
+        *unconditionally* — even when that leaves more than ``keep``
+        clauses alive — and the remainder is ranked by (LBD, activity,
+        length), dropping the worst.  Without it, the legacy policy
+        keeps the ``keep`` shortest clauses.  Either way the survivors'
+        watch hooks stay intact and the dropped clauses are unhooked.
+        Backtracks to level 0 first, where no learned clause is ever
+        consulted as a reason again, so removal cannot invalidate an
+        in-flight analysis.  Returns the number of clauses dropped.
+        Incremental callers use this between :meth:`solve` calls to
+        bound propagation cost over long solving sweeps.
         """
         if len(self.learned_clauses) <= keep:
             return 0
         self._backtrack(0)
-        self.learned_clauses.sort(key=len)
-        drop = self.learned_clauses[keep:]
+        if self.lbd_retention:
+            lbd, act = self._lbd, self._cla_act
+            glue_cap = self.GLUE_LBD
+            glue: list[list[int]] = []
+            rest: list[list[int]] = []
+            for clause in self.learned_clauses:
+                if lbd.get(id(clause), glue_cap + 1) <= glue_cap:
+                    glue.append(clause)
+                else:
+                    rest.append(clause)
+            quota = max(keep - len(glue), 0)
+            if len(rest) <= quota:
+                # glue alone exceeds the cap: nothing is droppable, so
+                # skip the ranking sort a caller's size trigger would
+                # otherwise re-pay on every call
+                return 0
+            rest.sort(
+                key=lambda c: (
+                    lbd.get(id(c), 1 << 30),
+                    -act.get(id(c), 0.0),
+                    len(c),
+                )
+            )
+            kept = glue + rest[:quota]
+            drop = rest[quota:]
+        else:
+            self.learned_clauses.sort(key=len)
+            kept = self.learned_clauses[:keep]
+            drop = self.learned_clauses[keep:]
+        if not drop:
+            return 0
         dropped = set(map(id, drop))
-        self.learned_clauses = self.learned_clauses[:keep]
+        self.learned_clauses = kept
+        self._forget_metadata(dropped)
         for lit, watchers in self._watches.items():
             if watchers:
                 self._watches[lit] = [
@@ -576,6 +756,12 @@ class CDCLSolver:
             if reason is not None and id(reason) in dropped:
                 self._reason[v] = None
         return len(drop)
+
+    def _forget_metadata(self, dropped: set[int]) -> None:
+        """Drop LBD/activity entries of clauses leaving the database."""
+        for cid in dropped:
+            self._lbd.pop(cid, None)
+            self._cla_act.pop(cid, None)
 
     def simplify(self) -> int:
         """Drop clauses permanently satisfied at level 0.
@@ -623,6 +809,7 @@ class CDCLSolver:
         self.learned_clauses = kept_learned
         if not dropped:
             return 0
+        self._forget_metadata(dropped)
         for lit, watchers in self._watches.items():
             if watchers:
                 self._watches[lit] = [
@@ -676,15 +863,31 @@ class CDCLSolver:
 
 
 def solve_cnf(
-    clauses: Iterable[Iterable[int]], num_vars: int
+    clauses: Iterable[Iterable[int]],
+    num_vars: int,
+    *,
+    max_conflicts: Optional[int] = None,
+    deadline: Optional[float] = None,
 ) -> Optional[dict[int, bool]]:
-    """One-shot convenience API: solve a CNF, return a model or ``None``."""
+    """One-shot convenience API: solve a CNF, return a model or ``None``.
+
+    ``None`` strictly means *unsatisfiable*.  When the optional
+    ``max_conflicts`` / ``deadline`` budget runs out before an answer,
+    the outcome is indeterminate and a :class:`SatError` is raised —
+    collapsing it into "no model" would let a budgeted caller misread a
+    timeout as unsat.
+    """
     solver = CDCLSolver(num_vars)
     for clause in clauses:
         if not solver.add_clause(clause):
             return None
-    result = solver.solve()
-    if not result:
+    result = solver.solve(max_conflicts=max_conflicts, deadline=deadline)
+    if result is None:
+        raise SatError(
+            "solve_cnf: conflict/deadline budget exhausted before an "
+            "answer (indeterminate, not unsat)"
+        )
+    if result is False:
         return None
     model = solver.model()
     for v in range(1, num_vars + 1):

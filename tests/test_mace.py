@@ -284,6 +284,66 @@ class TestIncrementalEngine:
         assert stats["model_size"] == result.model.size()
         assert stats["incremental"] is True
         assert stats["clauses_encoded"] > 0
+        assert stats["vectors_refuted"] >= 0
+        assert "vectors_skipped" in stats
+
+
+class TestVerdictCompleteness:
+    """FinderResult.complete: 'no model <= N' vs 'unknown (budget)'."""
+
+    def test_found_model_is_complete(self):
+        result = find_model(_PREPARED["even"])
+        assert result.found
+        assert result.complete
+
+    def test_exhaustively_refuted_sweep_is_complete(self):
+        prepared = preprocess(odd_unsat_system())
+        result = find_model(prepared, max_total_size=5)
+        assert not result.found
+        assert result.complete
+        stats = result.stats
+        assert stats.vectors_exhausted == 0
+        # every candidate vector is accounted for: refuted or skipped
+        assert (
+            stats.vectors_refuted + stats.vectors_skipped >= 5
+            or stats.hopeless
+        )
+
+    def test_deadline_cut_sweep_is_incomplete(self):
+        prepared = preprocess(odd_unsat_system())
+        result = find_model(prepared, max_total_size=5, timeout=0.0)
+        assert not result.found
+        assert not result.complete
+
+    def test_budget_exhausted_vectors_break_completeness(self):
+        # a conflict budget of 0 aborts on the very first conflict, so
+        # vectors needing real search come back indeterminate — the
+        # sweep must not claim it refuted the size bound
+        from repro.problems import diag_system
+
+        prepared = preprocess(diag_system())
+        result = find_model(
+            prepared, max_total_size=5, max_conflicts_per_size=0
+        )
+        assert not result.found
+        if result.stats.vectors_exhausted > 0:
+            assert not result.complete
+        else:  # every vector died in assumption propagation: a proof
+            assert result.complete
+
+    def test_refuted_and_exhausted_are_distinguished(self):
+        prepared = preprocess(odd_unsat_system())
+        full = find_model(prepared, max_total_size=5)
+        starved = find_model(
+            prepared, max_total_size=5, max_conflicts_per_size=0
+        )
+        assert full.stats.vectors_exhausted == 0
+        assert (
+            full.stats.vectors_refuted + full.stats.vectors_skipped
+            == starved.stats.vectors_refuted
+            + starved.stats.vectors_skipped
+            + starved.stats.vectors_exhausted
+        )
 
 
 class TestTheorem1:

@@ -144,11 +144,49 @@ class TestEnginePool:
         assert pool.stats.engines_evicted == 1
 
     def test_shared_engine_requires_incremental(self):
+        # a non-incremental finder resets its engine before every size
+        # vector; on a pooled shared engine that would wipe every other
+        # problem's state, so the combination must be rejected outright
         pool = EnginePool()
         prepared = preprocess(nat_mod_system(2, 0, 1))
         engine = pool.engine_for(prepared)
         with pytest.raises(FinderError):
             ModelFinder(prepared, incremental=False, engine=engine)
+
+    def test_shared_engine_incremental_flag_mutation_rejected(self):
+        # the constructor check can be bypassed by mutating the plain
+        # attribute afterwards; search() must re-check before it ever
+        # reaches an engine.reset() — and the shared engine must come
+        # through unscathed for the problem already riding it
+        pool = EnginePool()
+        first = pool.finder(preprocess(nat_mod_system(2, 0, 1)))
+        assert first.search().found
+        second = pool.finder(preprocess(nat_mod_system(3, 0, 1)))
+        assert second._engine is first._engine
+        clauses_before = second._engine.total_added
+        resets_before = 0
+        second.incremental = False
+        with pytest.raises(FinderError):
+            second.search()
+        # no reset happened: the shared clause database is intact
+        assert second._engine.total_added == clauses_before
+        second.incremental = True
+        result = second.search()
+        assert result.found
+        assert result.stats.solver_resets == resets_before
+
+    def test_pool_lbd_retention_threads_to_engines(self):
+        pool = EnginePool(lbd_retention=False)
+        prepared = preprocess(nat_mod_system(2, 0, 1))
+        engine = pool.engine_for(prepared)
+        assert engine.lbd_retention is False
+        assert engine.solver.lbd_retention is False
+        # pool.finder agrees with its engines on the retention policy
+        finder = pool.finder(prepared)
+        assert finder.search().found
+        # a finder with a mismatched policy is rejected
+        with pytest.raises(FinderError):
+            ModelFinder(prepared, engine=engine, lbd_retention=True)
 
     def test_mismatched_engine_rejected(self):
         pool = EnginePool()

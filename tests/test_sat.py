@@ -354,6 +354,210 @@ class TestDeadlinePrecision:
         assert time.monotonic() - start < 0.5
 
 
+class TestUnsatCore:
+    """solve(assumptions) is False must expose a usable core()."""
+
+    def test_core_unavailable_after_sat(self):
+        solver = CDCLSolver(2)
+        solver.add_clause([1, 2])
+        assert solver.solve() is True
+        with pytest.raises(SatError):
+            solver.core()
+
+    def test_core_unavailable_after_budget_exhaustion(self):
+        clauses, num_vars = pigeonhole_clauses(5)
+        solver = CDCLSolver(num_vars)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve(max_conflicts=1) is None
+        with pytest.raises(SatError):
+            solver.core()
+
+    def test_empty_core_when_database_alone_unsat(self):
+        solver = CDCLSolver(2)
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve(assumptions=[2]) is False
+        assert solver.core() == []
+
+    def test_failed_assumption_at_enqueue(self):
+        # -1 is refuted by the level-0 database before any propagation
+        solver = CDCLSolver(1)
+        solver.add_clause([1])
+        assert solver.solve(assumptions=[-1]) is False
+        assert solver.core() == [-1]
+
+    def test_contradictory_assumption_pair(self):
+        solver = CDCLSolver(2)
+        solver.add_clause([1, 2])
+        assert solver.solve(assumptions=[1, -1]) is False
+        assert sorted(solver.core()) == [-1, 1]
+
+    def test_assumption_propagation_conflict(self):
+        # the early conflict path: 1 and 3 clash through two binary
+        # clauses while the assumptions are still being enqueued;
+        # the irrelevant assumption 4 must stay out of the core
+        solver = CDCLSolver(4)
+        solver.add_clause([-1, 2])
+        solver.add_clause([-3, -2])
+        assert solver.solve(assumptions=[1, 3, 4]) is False
+        assert set(solver.core()) == {1, 3}
+
+    def test_deep_conflict_core_isolates_selector(self):
+        # pigeonhole clauses guarded by one selector, plus an unused
+        # selector: the refutation needs real search, and the final
+        # conflict analysis must blame exactly the guarding selector
+        clauses, num_vars = pigeonhole_clauses(4)
+        solver = CDCLSolver(num_vars + 2)
+        sel, unused = num_vars + 1, num_vars + 2
+        for clause in clauses:
+            solver.add_clause([-sel] + clause)
+        assert solver.solve(assumptions=[sel, unused]) is False
+        assert solver.core() == [sel]
+        # re-assuming exactly the core is still unsat
+        assert solver.solve(assumptions=solver.core()) is False
+
+    def test_core_invalidated_by_next_solve(self):
+        solver = CDCLSolver(1)
+        solver.add_clause([1])
+        assert solver.solve(assumptions=[-1]) is False
+        assert solver.core() == [-1]
+        assert solver.solve() is True
+        with pytest.raises(SatError):
+            solver.core()
+
+
+@st.composite
+def random_cnf_with_assumptions(draw):
+    clauses, num_vars = draw(random_cnf())
+    count = draw(st.integers(min_value=0, max_value=num_vars))
+    signs = [draw(st.sampled_from([1, -1])) for _ in range(count)]
+    assumptions = [v * s for v, s in zip(range(1, count + 1), signs)]
+    return clauses, num_vars, assumptions
+
+
+@given(random_cnf_with_assumptions())
+@settings(max_examples=200, deadline=None)
+def test_core_is_subset_and_unsat(case):
+    """Core ⊆ assumptions, and re-assuming only the core stays unsat."""
+    clauses, num_vars, assumptions = case
+    solver = CDCLSolver(num_vars)
+    ok = True
+    for clause in clauses:
+        ok = solver.add_clause(clause) and ok
+    outcome = solver.solve(assumptions=assumptions)
+    reference = brute_force_sat(
+        clauses + [[a] for a in assumptions], num_vars
+    )
+    if ok:
+        assert (outcome is True) == (reference is not None)
+    if outcome is not False:
+        return
+    core = solver.core()
+    assert set(core) <= set(assumptions)
+    # the core alone refutes: both by brute force and by a fresh solver
+    assert brute_force_sat(clauses + [[c] for c in core], num_vars) is None
+    resolver = CDCLSolver(num_vars)
+    ok2 = True
+    for clause in clauses:
+        ok2 = resolver.add_clause(clause) and ok2
+    if ok2:
+        assert resolver.solve(assumptions=core) is False
+
+
+class TestLbdRetention:
+    """reduce_learned keeps glue (LBD <= 2) clauses unconditionally."""
+
+    def _learned_solver(self):
+        clauses, num_vars = pigeonhole_clauses(5)
+        solver = CDCLSolver(num_vars + 1)
+        sel = num_vars + 1
+        for clause in clauses:
+            solver.add_clause([-sel] + clause)
+        assert solver.solve(assumptions=[sel]) is False
+        return solver, sel
+
+    def test_learned_clauses_carry_lbd_and_activity(self):
+        solver, _ = self._learned_solver()
+        assert solver.learned_clauses
+        for clause in solver.learned_clauses:
+            assert id(clause) in solver._lbd
+            assert solver._lbd[id(clause)] >= 1
+            assert id(clause) in solver._cla_act
+        assert solver.stats.glue_learned >= 0
+
+    def test_glue_survives_aggressive_reduction(self):
+        solver, sel = self._learned_solver()
+        glue_before = {
+            id(c)
+            for c in solver.learned_clauses
+            if solver._lbd[id(c)] <= CDCLSolver.GLUE_LBD
+        }
+        solver.reduce_learned(1)
+        alive = {id(c) for c in solver.learned_clauses}
+        assert glue_before <= alive, "a glue clause was dropped"
+        # metadata of dropped clauses is forgotten, survivors keep theirs
+        assert set(solver._lbd) == alive
+        assert set(solver._cla_act) == alive
+        # the solver still answers correctly afterwards
+        assert solver.solve(assumptions=[sel]) is False
+        assert solver.solve(assumptions=[-sel]) is True
+
+    def test_reduction_ranks_by_lbd_tier(self):
+        solver, _ = self._learned_solver()
+        keep = max(len(solver.learned_clauses) // 2, 1)
+        lbd = dict(solver._lbd)
+        glue_count = sum(
+            1 for v in lbd.values() if v <= CDCLSolver.GLUE_LBD
+        )
+        total = len(solver.learned_clauses)
+        dropped = solver.reduce_learned(keep)
+        # exactly the non-glue overflow is dropped
+        assert dropped == total - max(keep, glue_count)
+        assert len(solver.learned_clauses) == max(keep, glue_count)
+        kept_ids = {id(c) for c in solver.learned_clauses}
+        dropped_lbds = [
+            v for cid, v in lbd.items() if cid not in kept_ids
+        ]
+        # nothing dropped is glue, and no dropped clause sits in a
+        # strictly better LBD tier than the worst non-glue survivor
+        assert all(v > CDCLSolver.GLUE_LBD for v in dropped_lbds)
+        non_glue_kept = [
+            lbd[id(c)]
+            for c in solver.learned_clauses
+            if lbd[id(c)] > CDCLSolver.GLUE_LBD
+        ]
+        if dropped_lbds and non_glue_kept:
+            assert min(dropped_lbds) >= max(non_glue_kept)
+
+    def test_legacy_length_policy_still_available(self):
+        clauses, num_vars = pigeonhole_clauses(4)
+        solver = CDCLSolver(num_vars, lbd_retention=False)
+        for clause in clauses:
+            solver.add_clause(clause)
+        assert solver.solve() is False
+
+
+class TestSolveCnfIndeterminate:
+    """solve_cnf must never collapse a timeout into 'unsat'."""
+
+    def test_budget_exhaustion_raises(self):
+        clauses, num_vars = pigeonhole_clauses(5)
+        with pytest.raises(SatError):
+            solve_cnf(clauses, num_vars, max_conflicts=1)
+
+    def test_expired_deadline_raises_or_answers(self):
+        clauses, num_vars = pigeonhole_clauses(6)
+        with pytest.raises(SatError):
+            solve_cnf(
+                clauses, num_vars, deadline=time.monotonic() - 1.0
+            )
+
+    def test_unsat_still_returns_none(self):
+        assert solve_cnf([[1], [-1]], 1) is None
+        assert solve_cnf([[1], [-1]], 1, max_conflicts=10_000) is None
+
+
 class TestSelectorPool:
     def test_selectors_are_stable_per_key(self):
         solver = CDCLSolver()
@@ -469,3 +673,54 @@ def test_incremental_addition_matches_batch(case):
         ok = solver.add_clause(clause) and ok
     outcome = solver.solve() if ok else False
     assert outcome == (brute_force_sat(clauses, num_vars) is not None)
+
+
+# ----------------------------------------------------------------------
+# the unsat-core-guided sweep end to end: verdicts must be identical
+# with the guidance on and off across the example suite
+# ----------------------------------------------------------------------
+def test_core_guided_sweep_matches_unguided_on_examples():
+    from repro.chc.transform import preprocess
+    from repro.mace.finder import find_model
+    from repro.problems import ALL_PAPER_SYSTEMS, odd_unsat_system
+
+    cases = [(name, factory, {"max_total_size": 5})
+             for name, factory in ALL_PAPER_SYSTEMS.items()]
+    cases.append(("odd_unsat", odd_unsat_system, {"max_total_size": 5}))
+    for name, factory, kwargs in cases:
+        prepared = preprocess(factory())
+        guided = find_model(prepared, core_guided_sweep=True, **kwargs)
+        unguided = find_model(
+            prepared, core_guided_sweep=False, **kwargs
+        )
+        assert guided.found == unguided.found, name
+        assert guided.stats.model_size == unguided.stats.model_size, name
+        assert guided.complete == unguided.complete, name
+        # the guidance only ever *prunes* proven-unsat vectors
+        assert guided.stats.attempts <= unguided.stats.attempts, name
+        assert unguided.stats.vectors_skipped == 0, name
+
+
+def test_core_guided_sweep_skips_on_multi_sort_problems():
+    from repro.chc.transform import preprocess
+    from repro.mace.finder import find_model
+    from repro.stlc import stlc_problems
+
+    problem = next(
+        p for p in stlc_problems() if p.category == "non-tautology"
+    )
+    prepared = preprocess(problem.system())
+    guided = find_model(
+        prepared, core_guided_sweep=True, max_total_size=7
+    )
+    unguided = find_model(
+        prepared, core_guided_sweep=False, max_total_size=7
+    )
+    assert guided.found == unguided.found
+    assert guided.stats.model_size == unguided.stats.model_size
+    assert guided.stats.vectors_skipped > 0
+    assert guided.stats.cores_extracted > 0
+    assert (
+        guided.stats.attempts + guided.stats.vectors_skipped
+        == unguided.stats.attempts
+    )
