@@ -19,6 +19,14 @@
 #   * no benchmark family shows measured vector skips, or
 #   * the guided sweep is more than 10% slower than unguided.
 #
+# Gate 4 (PR 6): supervised execution parity; emits BENCH_exec.json
+# and fails if
+#   * isolated-mode or supervised-in-process verdicts diverge from the
+#     plain in-process fast path on the quick suite, or
+#   * the fault-injected campaign (crash + hang + OOM + flaky) fails
+#     to produce its three structured error verdicts, or the flaky
+#     task does not recover via retry.
+#
 # Usage: benchmarks/smoke.sh   (from anywhere; CI runs it as-is)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -104,4 +112,34 @@ if on > 1.10 * off:
     sys.exit(f"FAIL: core-guided sweep {on:.3f}s is >10% slower than "
              f"unguided {off:.3f}s")
 print("OK: core-guided sweep within budget")
+EOF
+
+python benchmarks/bench_exec.py
+
+python - <<'EOF'
+import json
+import sys
+
+with open("BENCH_exec.json") as handle:
+    report = json.load(handle)
+totals = report["totals"]
+
+if not totals["supervised_agrees"]:
+    sys.exit("FAIL: supervised in-process verdicts diverge from legacy")
+if not totals["isolated_agrees"]:
+    sys.exit("FAIL: isolated-mode verdicts diverge from in-process")
+if sorted(totals["fault_kinds"]) != ["crash", "oom", "timeout_hard"]:
+    sys.exit(f"FAIL: fault campaign produced {totals['fault_kinds']} "
+             f"instead of crash/oom/timeout_hard")
+if not totals["flaky_recovered"]:
+    sys.exit("FAIL: flaky task did not recover via retry")
+if not totals["unfaulted_tasks_ok"]:
+    sys.exit("FAIL: a fault leaked into an unfaulted task's verdict")
+
+inproc, iso = totals["inprocess_time"], totals["isolated_time"]
+print(f"in-process: {inproc:.3f}s  isolated: {iso:.3f}s  "
+      f"({totals['workers_spawned']} workers)  "
+      f"fault campaign: {totals['fault_time']:.3f}s "
+      f"({totals['fault_retries']} retries)")
+print("OK: supervised execution verdict parity + structured faults")
 EOF

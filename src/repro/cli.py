@@ -26,6 +26,17 @@ One ``<file>: <status> (<seconds>s)`` line is printed per problem,
 followed by a summary of the pool's cross-problem reuse counters
 (engines created, warm-engine hits, clauses inherited).  The exit code
 is the number of files that did not produce a sat/unsat answer.
+
+Fault-tolerant campaigns (the :mod:`repro.exec` supervisor) run each
+problem in a watchdogged worker subprocess and journal every verdict,
+so hangs, crashes and OOMs become per-problem ``error:*`` verdicts
+instead of lost runs, and an interrupted campaign resumes where it
+stopped:
+
+    python -m repro.cli campaign --isolate --journal run.jsonl *.smt2
+    python -m repro.cli campaign --resume run.jsonl *.smt2   # finish it
+    python -m repro.cli campaign --isolate --mem-limit 2048 \\
+        --max-retries 3 *.smt2
 """
 
 from __future__ import annotations
@@ -61,7 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
         "(PLDI 2021 reproduction)",
         epilog="Batch mode: 'repro campaign a.smt2 b.smt2 ...' solves "
         "many files over one shared model-finding engine per ADT "
-        "signature ('repro campaign --help' for its options).",
+        "signature.  Fault-tolerant runs: 'repro campaign --isolate "
+        "--journal run.jsonl *.smt2' supervises each problem in a "
+        "watchdogged worker and journals every verdict; 'repro campaign "
+        "--resume run.jsonl *.smt2' finishes an interrupted run without "
+        "re-solving journaled problems ('repro campaign --help' for "
+        "all options).",
     )
     parser.add_argument("file", help="SMT-LIB2 CHC problem ('-' for stdin)")
     parser.add_argument(
@@ -132,12 +148,62 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="legacy length-based learned-clause GC instead of LBD tiers",
     )
+    parser.add_argument(
+        "--isolate",
+        action="store_true",
+        help="run each problem in a supervised worker subprocess with a "
+        "hard wall-clock watchdog (hangs/crashes/OOMs become per-problem "
+        "error verdicts instead of killing the campaign)",
+    )
+    parser.add_argument(
+        "--journal",
+        metavar="PATH",
+        help="append every finished verdict to a JSONL journal "
+        "(flushed per verdict; survives kills)",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume from a journal: already-journaled problems are "
+        "replayed, only the remainder is re-executed (implies --journal "
+        "on the same file)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries (with exponential backoff) for transient worker "
+        "deaths (default 2; deterministic crashes are never retried)",
+    )
+    parser.add_argument(
+        "--mem-limit",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="per-worker address-space cap in MiB; allocation beyond it "
+        "becomes a structured error:oom verdict (isolated mode)",
+    )
     return parser
 
 
 def campaign_main(argv: Sequence[str]) -> int:
     """The ``campaign`` entry point: batch solving over a shared pool."""
     args = build_campaign_parser().parse_args(argv)
+    if args.resume and args.journal and args.resume != args.journal:
+        print(
+            "error: --resume and --journal must name the same file",
+            file=sys.stderr,
+        )
+        return 2
+    if (
+        args.isolate
+        or args.journal
+        or args.resume
+        or args.max_retries is not None
+        or args.mem_limit is not None
+    ):
+        return _campaign_supervised(args)
     pool = (
         None
         if args.no_share
@@ -174,6 +240,98 @@ def campaign_main(argv: Sequence[str]) -> int:
             f"{stats['engines_created']} engines, "
             f"{stats['engine_hits']} warm-engine hits, "
             f"{stats['cross_problem_clauses']} clauses inherited"
+        )
+    return failures
+
+
+def _campaign_supervised(args) -> int:
+    """Supervised campaign over files: workers, journal, resume."""
+    from repro.chc.transform import preprocess
+    from repro.exec.supervisor import ExecPolicy, TaskSpec, execute_tasks
+    from repro.mace.pool import signature_fingerprint
+
+    solver_opts = {
+        "core_guided_sweep": not args.no_cores,
+        "lbd_retention": not args.no_lbd,
+    }
+    policy = ExecPolicy(
+        isolate=args.isolate,
+        share_engines=not args.no_share,
+        mem_limit_mb=args.mem_limit,
+        solver_opts=solver_opts,
+    )
+    if args.max_retries is not None:
+        policy.max_retries = args.max_retries
+    failures = 0
+    tasks: list[TaskSpec] = []
+    for index, path in enumerate(args.files):
+        try:
+            with open(path) as handle:
+                text = handle.read()
+            system = parse_chc(text, name=path)
+        except (OSError, ParseError) as error:
+            print(f"{path}: error: {error}", file=sys.stderr)
+            failures += 1
+            continue
+        group_key = None
+        if policy.share_engines and policy.isolate:
+            try:
+                group_key = signature_fingerprint(preprocess(system))
+            except Exception as error:
+                print(
+                    f"{path}: warning: unfingerprintable ({error}); "
+                    f"running unshared",
+                    file=sys.stderr,
+                )
+        tasks.append(
+            TaskSpec(
+                task_id=path,
+                solver="ringen",
+                timeout=args.timeout,
+                smt_text=text,
+                index=index,
+                group_key=group_key,
+            )
+        )
+    journal = args.resume or args.journal
+    pool = None
+    if policy.share_engines and not policy.isolate:
+        pool = EnginePool(lbd_retention=not args.no_lbd)
+    records, stats = execute_tasks(
+        tasks,
+        policy,
+        journal_path=journal,
+        resume=bool(args.resume),
+        progress=print,
+        engine_pool=pool,
+    )
+    for task in tasks:
+        record = records.get(task.task_id)
+        if record is None:
+            failures += 1  # interrupted before this task ran
+        elif record["status"] not in ("sat", "unsat"):
+            failures += 1
+    if not args.quiet:
+        pool_stats = pool.as_dict() if pool is not None else stats.pool_stats
+        if pool_stats:
+            print(
+                f"; pool: {pool_stats.get('problems', 0)} problems, "
+                f"{pool_stats.get('engines_created', 0)} engines, "
+                f"{pool_stats.get('engine_hits', 0)} warm-engine hits, "
+                f"{pool_stats.get('cross_problem_clauses', 0)} "
+                f"clauses inherited"
+            )
+        errors = stats.error_counts
+        error_note = (
+            ", ".join(f"{k}={v}" for k, v in sorted(errors.items()))
+            if errors
+            else "none"
+        )
+        print(
+            f"; exec: {stats.tasks_executed} executed, "
+            f"{stats.tasks_resumed} resumed, {stats.retries} retries, "
+            f"{stats.workers_spawned} workers, errors: {error_note}"
+            + (" [INTERRUPTED]" if stats.interrupted else "")
         )
     return failures
 

@@ -222,14 +222,25 @@ class RInGen:
                         "models found but none passes the Herbrand "
                         "check within the remaining budget"
                     )
+                elif finder_stats.deadline_hit:
+                    # cut short by the cooperative wall clock — distinct
+                    # from conflict-budget exhaustion (whose remedy is a
+                    # bigger budget, not more time) and from the
+                    # supervisor's error:timeout_hard (a killed worker
+                    # never reports a reason at all)
+                    kind = "budget"
+                    reason = (
+                        "unknown: wall-clock timeout (cooperative)"
+                    )
                 else:
                     kind = "budget"
-                    reason = "unknown: size/time budget exhausted"
+                    reason = "unknown: conflict/size budget exhausted"
                 result = unknown(self.name, reason)
                 result.elapsed = time.monotonic() - start
                 result.details["attempts"] = finder_stats.attempts
                 result.details["complete"] = complete
                 result.details["verdict_kind"] = kind
+                result.details["timeout_hit"] = finder_stats.deadline_hit
                 result.details["finder"] = finder_stats.as_dict()
                 return result
             model = RegularModel.from_finite_model(
@@ -290,6 +301,7 @@ def _accumulate(total: FinderStats, part: FinderStats) -> None:
     total.vectors_skipped += part.vectors_skipped
     total.cores_extracted += part.cores_extracted
     total.hopeless = total.hopeless or part.hopeless
+    total.deadline_hit = total.deadline_hit or part.deadline_hit
     total.engine_shared = total.engine_shared or part.engine_shared
     total.cross_problem_clauses = max(
         total.cross_problem_clauses, part.cross_problem_clauses

@@ -1,0 +1,142 @@
+"""Append-only JSONL results journal with checkpoint/resume.
+
+One line per finished (problem, solver) task, flushed to disk as soon
+as the verdict exists, so a campaign killed at any point — SIGKILL,
+power loss, a watchdog tripping on the supervisor itself — loses at
+most the task in flight.  ``--resume`` loads the journal back, replays
+the finished verdicts into the campaign, and re-executes only the
+remainder.
+
+Format: the first line is a ``meta`` record (schema version, per-run
+timeout, solver list, creation time); every other line is a ``record``
+entry keyed by ``task`` id.  Loading tolerates a truncated final line
+(the torn write of the fatal moment) but warns about — and skips —
+any other malformed line rather than silently dropping verdicts.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from typing import Optional, TextIO
+
+logger = logging.getLogger(__name__)
+
+JOURNAL_VERSION = 1
+
+
+class JournalError(ValueError):
+    """Raised when a journal cannot be used for resume."""
+
+
+class ResultsJournal:
+    """Append-side handle: one flushed JSON line per finished task."""
+
+    def __init__(self, path: str, *, meta: Optional[dict] = None):
+        self.path = path
+        self._handle: Optional[TextIO] = None
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._handle = open(path, "a", encoding="utf-8")
+        if fresh:
+            header = {
+                "kind": "meta",
+                "version": JOURNAL_VERSION,
+                "created": time.time(),
+            }
+            header.update(meta or {})
+            self._write(header)
+
+    def record(self, entry: dict) -> None:
+        """Append one finished task's verdict and force it to disk."""
+        if "task" not in entry:
+            raise JournalError("journal records must carry a 'task' id")
+        self._write({"kind": "record", **entry})
+
+    def _write(self, payload: dict) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(payload, sort_keys=True) + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "ResultsJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def load_journal(path: str) -> tuple[dict, dict[str, dict]]:
+    """Read a journal back as ``(meta, {task_id: entry})``.
+
+    Later entries for the same task win (a task journaled twice — e.g.
+    once before an interrupt was fully processed — keeps its freshest
+    verdict).  A truncated final line is expected after a hard kill and
+    is dropped silently; malformed lines elsewhere are skipped loudly.
+    """
+    meta: dict = {}
+    entries: dict[str, dict] = {}
+    if not os.path.exists(path):
+        return meta, entries
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            if lineno == len(lines):
+                logger.warning(
+                    "journal %s: dropping truncated final line "
+                    "(torn write from an earlier kill)",
+                    path,
+                )
+            else:
+                logger.warning(
+                    "journal %s: skipping malformed line %d", path, lineno
+                )
+            continue
+        kind = payload.get("kind")
+        if kind == "meta":
+            meta = payload
+        elif kind == "record" and "task" in payload:
+            entries[payload["task"]] = payload
+        else:
+            logger.warning(
+                "journal %s: skipping unrecognized line %d", path, lineno
+            )
+    return meta, entries
+
+
+def check_meta(meta: dict, *, timeout: float, solvers: list[str]) -> None:
+    """Warn when a resumed journal came from a different configuration.
+
+    Resume still proceeds — the journaled verdicts are real verdicts —
+    but mixing timeouts or solver sets across the splice is worth a
+    loud note in the log.
+    """
+    if not meta:
+        return
+    j_timeout = meta.get("timeout")
+    if j_timeout is not None and abs(j_timeout - timeout) > 1e-9:
+        logger.warning(
+            "resuming journal recorded with timeout %.3fs into a "
+            "campaign with timeout %.3fs",
+            j_timeout,
+            timeout,
+        )
+    j_solvers = meta.get("solvers")
+    if j_solvers is not None and list(j_solvers) != list(solvers):
+        logger.warning(
+            "resuming journal recorded with solvers %s into a campaign "
+            "with solvers %s",
+            j_solvers,
+            solvers,
+        )

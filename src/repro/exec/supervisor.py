@@ -1,0 +1,660 @@
+"""Supervised, fault-tolerant task execution for solver campaigns.
+
+The paper's finite-model search is an unbounded sweep: a pathological
+CHC problem can hang propagation, exhaust memory, or blow the recursion
+limit, and before this layer existed any one of those took the whole
+campaign down with it.  The supervisor turns individual-task failure
+into structured per-task verdicts:
+
+* ``isolate=True`` runs each task in a **worker subprocess** with a
+  hard out-of-process **wall-clock watchdog** (``timeout * factor +
+  grace``) and an optional address-space cap, so hangs become
+  ``error:timeout_hard``, allocation blowups become ``error:oom``, and
+  crashes become ``error:crash`` — each with the campaign continuing;
+* result-less worker deaths (a kill, a fork failure, a flaky
+  environment) are **retried with exponential backoff + deterministic
+  jitter** up to ``max_retries`` times;
+* every finished verdict is flushed to a **JSONL journal** the moment
+  it exists, and ``resume=True`` replays a journal so an interrupted
+  campaign re-executes only the remainder;
+* SIGINT/SIGTERM trigger a **graceful shutdown**: the in-flight worker
+  is killed, the journal is flushed, and the partial results are
+  returned (the harness renders them as a partial report).
+
+With campaign engine-sharing on, consecutive tasks with the same
+signature ``group_key`` ride one worker, which hosts a private
+:class:`~repro.mace.pool.EnginePool` — the in-process sharing mode,
+preserved per worker — and streams one result per task so the watchdog
+still applies per task.  If a batch worker dies midway, its finished
+verdicts are kept and the remainder is rescheduled in fresh singleton
+workers.
+
+Every failure path is exercised deterministically through
+:class:`~repro.exec.faults.ReproFaultPlan` (``REPRO_FAULT_PLAN``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import logging
+import multiprocessing
+import signal
+import threading
+import time
+import zlib
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.exec import worker as worker_mod
+from repro.exec.faults import (
+    CooperativeHang,
+    ReproFaultPlan,
+    TransientWorkerFault,
+)
+from repro.exec.journal import ResultsJournal, check_meta, load_journal
+
+logger = logging.getLogger(__name__)
+
+Progress = Callable[[str], None]
+
+
+class CampaignInterrupted(Exception):
+    """SIGINT/SIGTERM (or an injected interrupt) stopped the campaign."""
+
+
+@dataclass
+class ExecPolicy:
+    """Execution-layer knobs, independent of any solver configuration.
+
+    ``hard_timeout_factor``/``hard_timeout_grace`` size the watchdog:
+    a worker gets ``timeout * factor + grace`` of wall clock per task
+    before it is killed — strictly beyond the solver's cooperative
+    deadline, so the watchdog only fires on genuinely stuck tasks.
+    ``max_retries`` bounds retries of *transient* failures (a worker
+    that died without writing a result); deterministic faults — a
+    structured crash, a hard timeout, an OOM — are never retried.
+    """
+
+    isolate: bool = False
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.25
+    mem_limit_mb: Optional[int] = None
+    hard_timeout_factor: float = 1.5
+    hard_timeout_grace: float = 1.0
+    share_engines: bool = False
+    solver_opts: Optional[dict] = None
+    # None = read REPRO_FAULT_PLAN from the environment (empty plan if
+    # unset); pass an explicit plan (possibly empty) to override
+    fault_plan: Optional[ReproFaultPlan] = None
+
+    def plan(self) -> ReproFaultPlan:
+        if self.fault_plan is not None:
+            return self.fault_plan
+        return ReproFaultPlan.from_env()
+
+    def hard_timeout(self, timeout: float) -> float:
+        return timeout * self.hard_timeout_factor + self.hard_timeout_grace
+
+    def backoff(self, task_id: str, attempt: int) -> float:
+        """Sleep before dispatching ``attempt`` (>= 2) of a task.
+
+        Exponential in the attempt number with a deterministic jitter
+        derived from the task id, so reruns are reproducible while
+        herds of retried tasks still spread out.
+        """
+        base = self.backoff_base * (
+            self.backoff_factor ** max(attempt - 2, 0)
+        )
+        salt = zlib.crc32(f"{task_id}:{attempt}".encode()) % 1000
+        return base * (1.0 + self.backoff_jitter * (salt / 1000.0))
+
+
+@dataclass
+class TaskSpec:
+    """One (problem, solver) unit of supervised work.
+
+    Harness tasks carry a live ``problem`` (rendered to SMT-LIB text
+    only when a worker actually needs it); CLI tasks carry ``smt_text``
+    directly.  ``group_key`` marks signature-compatible tasks: with
+    engine sharing on, consecutive tasks with equal keys batch into one
+    worker.
+    """
+
+    task_id: str
+    solver: str
+    timeout: float
+    expected_status: Optional[str] = None
+    problem: Optional[object] = None
+    smt_text: Optional[str] = None
+    index: int = 0
+    group_key: Optional[object] = None
+
+    def build_system(self):
+        if self.problem is not None:
+            return self.problem.build()
+        from repro.chc.parser import parse_chc
+
+        return parse_chc(self.smt_text or "", name=self.task_id)
+
+    def payload_text(self) -> str:
+        """The SMT-LIB form shipped to workers (rendered once)."""
+        if self.smt_text is None:
+            from repro.chc.printer import print_system
+
+            assert self.problem is not None
+            self.smt_text = print_system(self.problem.build())
+        return self.smt_text
+
+
+@dataclass
+class ExecStats:
+    """Campaign-level accounting of the execution layer."""
+
+    tasks_total: int = 0
+    tasks_executed: int = 0
+    tasks_resumed: int = 0
+    retries: int = 0
+    workers_spawned: int = 0
+    interrupted: bool = False
+    isolate: bool = False
+    error_counts: dict[str, int] = field(default_factory=dict)
+    pool_stats: Optional[dict] = None
+
+    def count_error(self, kind: Optional[str]) -> None:
+        if kind:
+            self.error_counts[kind] = self.error_counts.get(kind, 0) + 1
+
+    def merge_pool(self, other: dict) -> None:
+        """Fold one worker's EnginePool counters into the campaign's."""
+        if self.pool_stats is None:
+            self.pool_stats = dict(other)
+            return
+        for key, value in other.items():
+            if isinstance(value, (int, float)):
+                self.pool_stats[key] = self.pool_stats.get(key, 0) + value
+
+    def as_dict(self) -> dict:
+        return {
+            "tasks_total": self.tasks_total,
+            "tasks_executed": self.tasks_executed,
+            "tasks_resumed": self.tasks_resumed,
+            "retries": self.retries,
+            "workers_spawned": self.workers_spawned,
+            "interrupted": self.interrupted,
+            "isolate": self.isolate,
+            "error_counts": dict(self.error_counts),
+            "pool_stats": self.pool_stats,
+        }
+
+
+# ---------------------------------------------------------------------------
+# entry point
+
+
+def execute_tasks(
+    tasks: Sequence[TaskSpec],
+    policy: Optional[ExecPolicy] = None,
+    *,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    progress: Optional[Progress] = None,
+    engine_pool=None,
+) -> tuple[dict[str, dict], ExecStats]:
+    """Run every task under the policy; never lose finished verdicts.
+
+    Returns ``(records, stats)``: ``records`` maps task ids to plain
+    verdict dicts (see :func:`repro.exec.worker.solve_task`), including
+    verdicts replayed from the journal on resume.  On SIGINT/SIGTERM
+    the partial records collected so far are returned with
+    ``stats.interrupted`` set — the journal already holds all of them.
+    """
+    policy = policy or ExecPolicy()
+    plan = policy.plan()
+    stats = ExecStats(tasks_total=len(tasks), isolate=policy.isolate)
+    results: dict[str, dict] = {}
+    pending = list(tasks)
+    meta = {
+        "timeout": tasks[0].timeout if tasks else None,
+        "solvers": sorted({t.solver for t in tasks}),
+    }
+    journal: Optional[ResultsJournal] = None
+    if journal_path:
+        if resume:
+            old_meta, entries = load_journal(journal_path)
+            check_meta(
+                old_meta,
+                timeout=meta["timeout"] or 0.0,
+                solvers=meta["solvers"],
+            )
+            for task in tasks:
+                entry = entries.get(task.task_id)
+                if entry is None:
+                    continue
+                record = {
+                    k: v for k, v in entry.items() if k != "kind"
+                }
+                record["resumed"] = True
+                results[task.task_id] = record
+                stats.tasks_resumed += 1
+            pending = [t for t in tasks if t.task_id not in results]
+        journal = ResultsJournal(journal_path, meta=meta)
+    try:
+        with _graceful_signals():
+            try:
+                if policy.isolate:
+                    _execute_isolated(
+                        pending, policy, plan, stats, results, journal,
+                        progress,
+                    )
+                else:
+                    _execute_inprocess(
+                        pending, policy, plan, stats, results, journal,
+                        progress, engine_pool,
+                    )
+            except (KeyboardInterrupt, CampaignInterrupted) as stop:
+                logger.warning(
+                    "campaign interrupted (%s): %d/%d verdicts journaled, "
+                    "resume with the same journal to finish",
+                    type(stop).__name__,
+                    len(results),
+                    len(tasks),
+                )
+                stats.interrupted = True
+    finally:
+        if journal is not None:
+            journal.close()
+    return results, stats
+
+
+# ---------------------------------------------------------------------------
+# shared helpers
+
+
+def _check_injected_interrupt(
+    task: TaskSpec, plan: ReproFaultPlan, attempt: int
+) -> None:
+    """Simulated SIGINT between tasks (the supervisor-level fault)."""
+    spec = plan.spec_for(task.task_id, task.index)
+    if spec is not None and spec.kind == "interrupt" and attempt == 1:
+        raise CampaignInterrupted(
+            f"injected interrupt before {task.task_id}"
+        )
+
+
+def _finish(
+    task: TaskSpec,
+    record: dict,
+    attempt: int,
+    stats: ExecStats,
+    results: dict[str, dict],
+    journal: Optional[ResultsJournal],
+    progress: Optional[Progress],
+) -> None:
+    record["task"] = task.task_id
+    record["attempts"] = attempt
+    stats.tasks_executed += 1
+    kind = record.get("error_kind")
+    stats.count_error(kind)
+    results[task.task_id] = record
+    if journal is not None:
+        journal.record(record)
+    if progress is not None:
+        suffix = f" [{kind}]" if kind else ""
+        progress(
+            f"{task.task_id}: {record['status']} "
+            f"({record['elapsed']:.2f}s){suffix}"
+        )
+
+
+def _cooperative_timeout_record(error: BaseException, elapsed: float) -> dict:
+    """The in-process analogue of a hang: the cooperative budget ran out."""
+    return {
+        "status": "unknown",
+        "elapsed": elapsed,
+        "correct": True,
+        "model_size": None,
+        "reason": "unknown: wall-clock timeout (cooperative)",
+        "error_kind": None,
+        "exception_type": type(error).__name__,
+        "traceback": "",
+        "transient": False,
+        "details": {"verdict_kind": "budget", "timeout_hit": True},
+    }
+
+
+@contextlib.contextmanager
+def _graceful_signals():
+    """Convert SIGTERM into :class:`CampaignInterrupted` (main thread).
+
+    SIGINT already arrives as KeyboardInterrupt; both are caught at the
+    same place so a terminated campaign flushes its journal and returns
+    its partial results instead of dying mid-write.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def handler(signum, frame):
+        raise CampaignInterrupted(f"signal {signum}")
+
+    previous = signal.signal(signal.SIGTERM, handler)
+    try:
+        yield
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+
+
+# ---------------------------------------------------------------------------
+# in-process execution (the default fast path)
+
+
+def _execute_inprocess(
+    pending: Sequence[TaskSpec],
+    policy: ExecPolicy,
+    plan: ReproFaultPlan,
+    stats: ExecStats,
+    results: dict[str, dict],
+    journal: Optional[ResultsJournal],
+    progress: Optional[Progress],
+    engine_pool,
+) -> None:
+    for task in pending:
+        _check_injected_interrupt(task, plan, 1)
+        attempt = 1
+        while True:
+            start = time.monotonic()
+            try:
+                plan.fire(
+                    task.task_id,
+                    task.index,
+                    attempt,
+                    isolated=False,
+                    timeout=task.timeout,
+                    mem_limit_mb=policy.mem_limit_mb,
+                )
+                system = task.build_system()
+                record = worker_mod.solve_task(
+                    system,
+                    task.solver,
+                    task.timeout,
+                    task.expected_status,
+                    engine_pool=engine_pool,
+                    solver_opts=policy.solver_opts,
+                )
+            except TransientWorkerFault as error:
+                if attempt <= policy.max_retries:
+                    stats.retries += 1
+                    attempt += 1
+                    time.sleep(policy.backoff(task.task_id, attempt))
+                    continue
+                record = worker_mod.crash_record(
+                    error, time.monotonic() - start, transient=True
+                )
+            except CooperativeHang as error:
+                record = _cooperative_timeout_record(
+                    error, time.monotonic() - start
+                )
+            except MemoryError as error:
+                record = worker_mod.crash_record(
+                    error, time.monotonic() - start
+                )
+            except Exception as error:
+                record = worker_mod.crash_record(
+                    error, time.monotonic() - start
+                )
+            break
+        _finish(task, record, attempt, stats, results, journal, progress)
+
+
+# ---------------------------------------------------------------------------
+# isolated execution (worker subprocesses under the watchdog)
+
+_EOF = object()
+
+
+def _execute_isolated(
+    pending: Sequence[TaskSpec],
+    policy: ExecPolicy,
+    plan: ReproFaultPlan,
+    stats: ExecStats,
+    results: dict[str, dict],
+    journal: Optional[ResultsJournal],
+    progress: Optional[Progress],
+) -> None:
+    attempts = {t.task_id: 1 for t in pending}
+    queue: deque[list[TaskSpec]] = deque(_batches(pending, policy))
+    while queue:
+        batch = queue.popleft()
+        for task in batch:
+            _check_injected_interrupt(
+                task, plan, attempts[task.task_id]
+            )
+        first = batch[0]
+        if attempts[first.task_id] > 1:
+            time.sleep(
+                policy.backoff(first.task_id, attempts[first.task_id])
+            )
+
+        def finish(task: TaskSpec, record: dict) -> None:
+            _finish(
+                task, record, attempts[task.task_id], stats, results,
+                journal, progress,
+            )
+
+        retry, reschedule = _run_worker_batch(
+            batch, policy, plan, attempts, stats, finish
+        )
+        # retried tasks run next (singleton workers, attempt bumped);
+        # rescheduled tasks were bystanders of a batch failure and keep
+        # their attempt count
+        for task in reversed(retry):
+            attempts[task.task_id] += 1
+            stats.retries += 1
+            queue.appendleft([task])
+        for task in reschedule:
+            queue.append([task])
+
+
+def _batches(
+    tasks: Sequence[TaskSpec], policy: ExecPolicy
+) -> list[list[TaskSpec]]:
+    """Group consecutive same-signature tasks when engines are shared."""
+    batches: list[list[TaskSpec]] = []
+    for task in tasks:
+        if (
+            policy.share_engines
+            and task.group_key is not None
+            and batches
+            and batches[-1][0].group_key == task.group_key
+        ):
+            batches[-1].append(task)
+        else:
+            batches.append([task])
+    return batches
+
+
+def _timeout_hard_record(task: TaskSpec, hard: float) -> dict:
+    return {
+        "status": "unknown",
+        "elapsed": hard,
+        "correct": True,
+        "model_size": None,
+        "reason": (
+            f"error:timeout_hard: worker killed after {hard:.1f}s hard "
+            f"wall clock (cooperative timeout {task.timeout:g}s)"
+        ),
+        "error_kind": "timeout_hard",
+        "exception_type": None,
+        "traceback": "",
+        "transient": False,
+        "details": {},
+    }
+
+
+def _worker_death_record(
+    task: TaskSpec,
+    exitcode: Optional[int],
+    attempts: int,
+    policy: ExecPolicy,
+) -> dict:
+    if exitcode is not None and exitcode < 0:
+        desc = f"killed by signal {-exitcode}"
+        if policy.mem_limit_mb and -exitcode == signal.SIGKILL:
+            desc += " (possible kernel OOM kill)"
+    else:
+        desc = f"exit code {exitcode}"
+    return {
+        "status": "unknown",
+        "elapsed": 0.0,
+        "correct": True,
+        "model_size": None,
+        "reason": (
+            f"error:crash: worker died without a result ({desc}) "
+            f"after {attempts} attempts"
+        ),
+        "error_kind": "crash",
+        "exception_type": None,
+        "traceback": "",
+        "transient": True,
+        "details": {"exitcode": exitcode},
+    }
+
+
+def _kill(proc) -> None:
+    if not proc.is_alive():
+        proc.join()
+        return
+    proc.terminate()
+    proc.join(timeout=2.0)
+    if proc.is_alive():
+        proc.kill()
+        proc.join(timeout=5.0)
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _run_worker_batch(
+    batch: list[TaskSpec],
+    policy: ExecPolicy,
+    plan: ReproFaultPlan,
+    attempts: dict[str, int],
+    stats: ExecStats,
+    finish: Callable[[TaskSpec, dict], None],
+) -> tuple[list[TaskSpec], list[TaskSpec]]:
+    """Run one batch in one worker; classify every way it can end.
+
+    Calls ``finish`` for each task that reached a verdict (including
+    ``error:timeout_hard`` from the watchdog and terminal worker-death
+    crashes) the moment the verdict exists, so an interrupt arriving
+    mid-batch loses nothing already decided.  Returns
+    ``(retry, reschedule)``: transient failures with budget left, and
+    innocent bystanders of a batch failure.
+    """
+    ctx = _mp_context()
+    parent, child = ctx.Pipe(duplex=False)
+    payload = {
+        "tasks": [
+            {
+                "task_id": t.task_id,
+                "smt_text": t.payload_text(),
+                "solver": t.solver,
+                "timeout": t.timeout,
+                "expected_status": t.expected_status,
+                "index": t.index,
+                "attempt": attempts[t.task_id],
+            }
+            for t in batch
+        ],
+        "share_engines": policy.share_engines and len(batch) > 1,
+        "mem_limit_mb": policy.mem_limit_mb,
+        "fault_plan": plan.encode() if plan else None,
+        "solver_opts": policy.solver_opts,
+    }
+    proc = ctx.Process(
+        target=worker_mod.worker_entry, args=(child, payload), daemon=True
+    )
+    retry: list[TaskSpec] = []
+    reschedule: list[TaskSpec] = []
+    try:
+        proc.start()
+    except OSError as error:  # fork/spawn failure: transient by nature
+        logger.warning("worker start failed (%s); will retry", error)
+        parent.close()
+        child.close()
+        for task in batch:
+            if attempts[task.task_id] <= policy.max_retries:
+                retry.append(task)
+            else:
+                finish(
+                    task,
+                    _worker_death_record(
+                        task, None, attempts[task.task_id], policy
+                    ),
+                )
+        return retry, reschedule
+    child.close()
+    stats.workers_spawned += 1
+    try:
+        index = 0
+        while index < len(batch):
+            task = batch[index]
+            hard = policy.hard_timeout(task.timeout)
+            deadline = time.monotonic() + hard
+            msg: object = None
+            while msg is None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                if parent.poll(min(remaining, 0.2)):
+                    try:
+                        msg = parent.recv()
+                    except EOFError:
+                        msg = _EOF
+            if msg is None:
+                # the hard watchdog: no result within the wall budget
+                _kill(proc)
+                finish(task, _timeout_hard_record(task, hard))
+                reschedule.extend(batch[index + 1:])
+                return retry, reschedule
+            if msg is _EOF:
+                # the worker died without a result for the current task
+                proc.join(timeout=5.0)
+                if attempts[task.task_id] <= policy.max_retries:
+                    retry.append(task)
+                else:
+                    finish(
+                        task,
+                        _worker_death_record(
+                            task,
+                            proc.exitcode,
+                            attempts[task.task_id],
+                            policy,
+                        ),
+                    )
+                reschedule.extend(batch[index + 1:])
+                return retry, reschedule
+            assert isinstance(msg, dict)
+            finish(task, msg)
+            index += 1
+        # drain the done message (carries per-worker pool counters)
+        if parent.poll(2.0):
+            try:
+                done = parent.recv()
+                if isinstance(done, dict) and done.get("pool_stats"):
+                    stats.merge_pool(done["pool_stats"])
+            except EOFError:
+                pass
+        proc.join(timeout=5.0)
+        return retry, reschedule
+    finally:
+        parent.close()
+        if proc.is_alive():
+            _kill(proc)

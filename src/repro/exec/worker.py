@@ -1,0 +1,232 @@
+"""Worker-subprocess side of the supervised execution layer.
+
+A worker receives one batch of tasks (usually a single task; with
+campaign engine-sharing on, a whole signature-compatible group) over a
+pipe, solves them one at a time and streams one structured result
+message back per task, so the supervisor can apply its hard wall-clock
+watchdog *per task* and keep every already-finished verdict when the
+worker later dies.  All failure handling that can be done in-process is
+done here — a solver exception becomes ``error:crash`` with its
+traceback, a MemoryError under the RSS/address-space cap becomes
+``error:oom`` — while hangs and hard kills are the supervisor's
+business (a hung worker never writes, so the watchdog classifies it).
+
+The same :func:`solve_task` drives the in-process execution path, so
+isolated and in-process campaigns produce identical verdicts by
+construction (``benchmarks/bench_exec.py`` gates this).
+"""
+
+from __future__ import annotations
+
+import gc
+import signal
+import time
+import traceback
+from typing import Any, Optional
+
+from repro.exec.faults import ReproFaultPlan
+
+#: message sent after the last task so the supervisor can tell a clean
+#: finish from a death right after the final result
+DONE = "done"
+
+
+def jsonable(value: Any, depth: int = 6) -> Any:
+    """Strip a result-details structure down to JSON-serializable data.
+
+    Solver details can carry rich objects (invariants, derivations);
+    only plain data survives the pipe and the journal.
+    """
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if depth <= 0:
+        return str(value)
+    if isinstance(value, dict):
+        return {
+            str(k): jsonable(v, depth - 1)
+            for k, v in value.items()
+            if isinstance(v, (str, int, float, bool, dict, list, tuple))
+            or v is None
+        }
+    if isinstance(value, (list, tuple)):
+        return [jsonable(v, depth - 1) for v in value]
+    return str(value)
+
+
+def make_task_solver(
+    solver_name: str,
+    timeout: float,
+    *,
+    engine_pool=None,
+    solver_opts: Optional[dict] = None,
+):
+    """Instantiate a solver; ``solver_opts`` are RInGen-only knobs."""
+    from repro.harness.runner import make_solver
+
+    if solver_name == "ringen" and solver_opts:
+        from repro.core.ringen import RInGen, RInGenConfig
+
+        return RInGen(
+            RInGenConfig(
+                timeout=timeout, engine_pool=engine_pool, **solver_opts
+            )
+        )
+    return make_solver(solver_name, timeout, engine_pool=engine_pool)
+
+
+def crash_record(
+    error: BaseException, elapsed: float, *, transient: bool = False
+) -> dict:
+    """Structured ``error:crash`` verdict for an in-task exception."""
+    kind = "oom" if isinstance(error, MemoryError) else "crash"
+    return {
+        "status": "unknown",
+        "elapsed": elapsed,
+        "correct": True,  # an error is an honest non-answer, not a wrong one
+        "model_size": None,
+        "reason": f"error:{kind}: {type(error).__name__}: {error}",
+        "error_kind": kind,
+        "exception_type": type(error).__name__,
+        "traceback": traceback.format_exc(limit=20),
+        "transient": transient,
+        "details": {},
+    }
+
+
+def solve_task(
+    system,
+    solver_name: str,
+    timeout: float,
+    expected_status: Optional[str],
+    *,
+    engine_pool=None,
+    solver_opts: Optional[dict] = None,
+) -> dict:
+    """Solve one task and return a plain-dict verdict record.
+
+    Exceptions never escape: a solver crash (or recursion blowout)
+    yields ``error:crash`` with the exception type and traceback, and a
+    MemoryError yields ``error:oom`` — the structured verdicts the
+    supervisor journals instead of losing the campaign.
+    """
+    start = time.monotonic()
+    try:
+        solver = make_task_solver(
+            solver_name,
+            timeout,
+            engine_pool=engine_pool,
+            solver_opts=solver_opts,
+        )
+        result = solver.solve(system)
+    except MemoryError as error:
+        # free the hoard before building the response under a tight cap
+        gc.collect()
+        return crash_record(error, time.monotonic() - start)
+    except Exception as error:
+        return crash_record(error, time.monotonic() - start)
+    elapsed = time.monotonic() - start
+    status = result.status.value
+    correct = (
+        status == "unknown"
+        or expected_status is None
+        or status == expected_status
+    )
+    model_size = None
+    if status == "sat":
+        model_size = result.details.get("model_size")
+    return {
+        "status": status,
+        "elapsed": elapsed,
+        "correct": correct,
+        "model_size": model_size,
+        "reason": result.reason,
+        "error_kind": None,
+        "exception_type": None,
+        "traceback": "",
+        "transient": False,
+        "details": jsonable(dict(result.details)),
+    }
+
+
+def _apply_mem_limit(mem_limit_mb: Optional[int]) -> None:
+    """Cap the worker's address space so runaway allocation raises
+    MemoryError in-process (a structured ``error:oom``) instead of
+    taking the machine to the kernel OOM killer."""
+    if mem_limit_mb is None:
+        return
+    try:
+        import resource
+    except ImportError:  # non-POSIX: the watchdog is the only backstop
+        return
+    limit = mem_limit_mb << 20
+    try:
+        soft, hard = resource.getrlimit(resource.RLIMIT_AS)
+        new_hard = hard if hard != resource.RLIM_INFINITY else limit
+        resource.setrlimit(
+            resource.RLIMIT_AS, (min(limit, new_hard), new_hard)
+        )
+    except (ValueError, OSError):
+        pass  # tighter than the hard cap we inherited: keep the cap
+
+
+def worker_entry(conn, payload: dict) -> None:
+    """Subprocess main: solve the batch, streaming one message per task.
+
+    ``payload``::
+
+        {"tasks": [{"task_id", "smt_text", "solver", "timeout",
+                    "expected_status", "index", "attempt"}, ...],
+         "share_engines": bool, "mem_limit_mb": int | None,
+         "fault_plan": str | None, "solver_opts": dict | None}
+    """
+    # the supervisor owns interrupt handling; a Ctrl-C aimed at the
+    # campaign must not corrupt a worker mid-message
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    _apply_mem_limit(payload.get("mem_limit_mb"))
+    plan = ReproFaultPlan.parse(payload.get("fault_plan"))
+    solver_opts = payload.get("solver_opts") or None
+    pool = None
+    if payload.get("share_engines"):
+        from repro.mace.pool import EnginePool
+
+        pool = EnginePool(
+            lbd_retention=(solver_opts or {}).get("lbd_retention", True)
+        )
+    from repro.chc.parser import parse_chc
+
+    try:
+        for task in payload["tasks"]:
+            task_id = task["task_id"]
+            start = time.monotonic()
+            try:
+                plan.fire(
+                    task_id,
+                    task.get("index", 0),
+                    task.get("attempt", 1),
+                    isolated=True,
+                    timeout=task.get("timeout"),
+                    mem_limit_mb=payload.get("mem_limit_mb"),
+                )
+                system = parse_chc(task["smt_text"], name=task_id)
+                record = solve_task(
+                    system,
+                    task["solver"],
+                    task["timeout"],
+                    task.get("expected_status"),
+                    engine_pool=pool,
+                    solver_opts=solver_opts,
+                )
+            except MemoryError as error:
+                gc.collect()
+                record = crash_record(error, time.monotonic() - start)
+            except Exception as error:
+                record = crash_record(error, time.monotonic() - start)
+            record["task"] = task_id
+            conn.send(record)
+        done: dict = {DONE: True}
+        if pool is not None:
+            done["pool_stats"] = pool.as_dict()
+        conn.send(done)
+    finally:
+        conn.close()

@@ -46,6 +46,14 @@ def campaign_report(
         f"{len(campaign.records)} runs total."
     )
     sections.append("")
+    if campaign.interrupted:
+        sections.append(
+            "**PARTIAL REPORT** — the campaign was interrupted "
+            "(SIGINT/SIGTERM); the tables below cover only the "
+            "journaled prefix.  Re-run with `--resume` on the same "
+            "journal to finish the remaining problems."
+        )
+        sections.append("")
 
     # Table 1
     sections.append("## Table 1 — correct answers per solver")
@@ -161,27 +169,33 @@ def campaign_report(
         sections.append("")
 
     # honest unknown verdicts: a completed sweep proves "no model <= N"
-    # while a budget-cut sweep proves nothing — report which was which
+    # while a budget-cut sweep proves nothing — report which was which.
+    # Execution-layer errors (crashes, hard kills, OOMs) are NOT
+    # unknowns; they get their own section below.
     unknown_rows = [
         record
         for record in campaign.records
-        if record.solver == "ringen" and record.status is Status.UNKNOWN
+        if record.solver == "ringen"
+        and record.status is Status.UNKNOWN
+        and not record.errored
     ]
     if unknown_rows:
         sections.append("## Model finder — unknown verdicts")
         sections.append("")
         rows = []
         for record in unknown_rows:
-            # structured key set by ringen; records without it (solver
-            # crashes, old artifacts) fall into the "other" bucket
+            # structured key set by ringen; records without it (old
+            # artifacts) fall into the "other" bucket
             kind = record.details.get("verdict_kind")
             if record.details.get("complete"):
                 verdict = "no model within size bound (sweep complete)"
             elif kind == "herbrand":
                 # raising budgets is not the remedy here
                 verdict = "unknown (model verification failed)"
+            elif kind == "budget" and record.details.get("timeout_hit"):
+                verdict = "unknown (wall-clock timeout)"
             elif kind == "budget":
-                verdict = "unknown (budget exhausted)"
+                verdict = "unknown (conflict budget exhausted)"
             else:
                 verdict = "unknown (other)"
             rows.append(
@@ -194,6 +208,55 @@ def campaign_report(
         sections.append(
             markdown_table(["problem", "verdict", "detail"], rows)
         )
+        sections.append("")
+
+    # execution-layer failures: every crashed / hard-killed / OOM-killed
+    # task, with exception type and retry count — these used to be
+    # silently folded into the unknowns
+    error_rows = [r for r in campaign.records if r.errored]
+    if error_rows:
+        sections.append("## Errors — crashed / killed / OOM tasks")
+        sections.append("")
+        rows = []
+        for record in error_rows:
+            detail = record.reason
+            exc_type = record.details.get("exception_type")
+            if exc_type and exc_type not in detail:
+                detail = f"{exc_type}: {detail}"
+            rows.append(
+                [
+                    f"{record.problem.suite}/{record.problem.name}",
+                    record.solver,
+                    record.error_kind,
+                    record.attempts,
+                    detail,
+                ]
+            )
+        sections.append(
+            markdown_table(
+                ["problem", "solver", "error", "attempts", "detail"], rows
+            )
+        )
+        sections.append("")
+
+    # supervised execution: worker / retry / resume accounting
+    if campaign.exec_stats is not None:
+        stats = campaign.exec_stats
+        sections.append("## Execution — supervised campaign")
+        sections.append("")
+        error_counts = stats.get("error_counts") or {}
+        rows = [
+            ["mode", "isolated" if stats.get("isolate") else "in-process"],
+            ["tasks total", stats.get("tasks_total", 0)],
+            ["tasks executed", stats.get("tasks_executed", 0)],
+            ["tasks resumed from journal", stats.get("tasks_resumed", 0)],
+            ["transient retries", stats.get("retries", 0)],
+            ["workers spawned", stats.get("workers_spawned", 0)],
+            ["interrupted", "yes" if stats.get("interrupted") else "no"],
+        ]
+        for kind in sorted(error_counts):
+            rows.append([f"errors: {kind}", error_counts[kind]])
+        sections.append(markdown_table(["metric", "value"], rows))
         sections.append("")
 
     # campaign batch mode: cross-problem engine sharing

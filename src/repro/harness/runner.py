@@ -9,7 +9,9 @@ aggregates into the paper's tables and figures.
 
 from __future__ import annotations
 
+import logging
 import time
+import traceback as traceback_mod
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -22,6 +24,8 @@ from repro.solvers.elem import ElemConfig, ElemSolver
 from repro.solvers.induct import InductConfig, InductSolver
 from repro.solvers.sizeelem import SizeElemConfig, SizeElemSolver
 from repro.solvers.verimap import VeriMapConfig, VeriMapSolver
+
+logger = logging.getLogger(__name__)
 
 SOLVER_ORDER = ["ringen", "eldarica", "spacer", "cvc4-ind", "verimap-iddt"]
 
@@ -72,10 +76,23 @@ class RunRecord:
     # solver-reported extras (e.g. the model finder's incremental-engine
     # statistics under "finder"), surfaced by the report generator
     details: dict = field(default_factory=dict)
+    # execution-layer outcome: None for an honest solver verdict;
+    # "crash" / "timeout_hard" / "oom" when the task failed and the
+    # supervisor turned the failure into a structured verdict.  These
+    # records stay UNKNOWN for scoring (they are non-answers, not wrong
+    # answers) but the report surfaces them in a dedicated errors
+    # section instead of folding them into the unknowns.
+    error_kind: Optional[str] = None
+    attempts: int = 1
+    traceback: str = ""
 
     @property
     def solved(self) -> bool:
         return self.correct and self.status is not Status.UNKNOWN
+
+    @property
+    def errored(self) -> bool:
+        return self.error_kind is not None
 
 
 @dataclass
@@ -87,6 +104,12 @@ class Campaign:
     # campaign batch mode: cross-problem engine reuse counters from the
     # shared EnginePool (None when every problem got a fresh engine)
     pool_stats: Optional[dict] = None
+    # supervised execution: retry/resume/worker accounting from
+    # repro.exec (None for the plain in-process fast path), plus
+    # whether the campaign was stopped by SIGINT/SIGTERM — in which
+    # case the records are the partial, journaled prefix
+    exec_stats: Optional[dict] = None
+    interrupted: bool = False
 
     def add(self, record: RunRecord) -> None:
         self.records.append(record)
@@ -200,7 +223,19 @@ def batch_order(problems: Sequence[Problem]) -> list[Problem]:
     for problem in problems:
         try:
             key = signature_fingerprint(preprocess(problem.build()))
-        except Exception:
+        except Exception as error:
+            # an unfingerprintable problem still runs (in its own group,
+            # on a fresh engine) — but a build/preprocess failure here
+            # predicts a failure at solve time, so say so instead of
+            # hiding it
+            logger.warning(
+                "batch_order: could not fingerprint %s/%s (%s: %s); "
+                "scheduling it unshared",
+                problem.suite,
+                problem.name,
+                type(error).__name__,
+                error,
+            )
             key = ("unfingerprintable", problem.suite, problem.name)
         if key not in groups:
             groups[key] = []
@@ -217,19 +252,33 @@ def run_problem(
     engine_pool: Optional[EnginePool] = None,
 ) -> RunRecord:
     """Run one solver on one problem and score the verdict."""
-    solver = make_solver(solver_name, timeout, engine_pool=engine_pool)
-    system = problem.build()
     start = time.monotonic()
     try:
+        solver = make_solver(solver_name, timeout, engine_pool=engine_pool)
+        system = problem.build()
         result = solver.solve(system)
-    except Exception as error:  # solver crash counts as unknown
+    except Exception as error:
+        # A crash is a structured error verdict, not an honest
+        # "unknown": the record keeps the exception type and traceback
+        # and the report lists it in a dedicated errors section.
+        logger.warning(
+            "%s/%s %s crashed: %s: %s",
+            problem.suite,
+            problem.name,
+            solver_name,
+            type(error).__name__,
+            error,
+        )
         return RunRecord(
             problem,
             solver_name,
             Status.UNKNOWN,
             time.monotonic() - start,
             True,
-            reason=f"crash: {error}",
+            reason=f"error:crash: {type(error).__name__}: {error}",
+            details={"exception_type": type(error).__name__},
+            error_kind="crash",
+            traceback=traceback_mod.format_exc(limit=20),
         )
     elapsed = time.monotonic() - start
     correct = (
@@ -260,6 +309,10 @@ def run_campaign(
     problem_filter: Optional[Callable[[Problem], bool]] = None,
     share_engines: bool = False,
     engine_pool: Optional[EnginePool] = None,
+    isolate: bool = False,
+    journal_path: Optional[str] = None,
+    resume: bool = False,
+    policy: Optional[object] = None,
 ) -> Campaign:
     """Run the full (suite x solver) product.
 
@@ -270,9 +323,35 @@ def run_campaign(
     back-to-back, and the pool's cross-problem reuse counters land in
     ``Campaign.pool_stats``.  Verdicts are unaffected — the pool only
     changes which solver state the model finder starts from.
+
+    Supervised execution (``isolate``, ``journal_path``, ``resume``, or
+    an explicit :class:`repro.exec.ExecPolicy` in ``policy``) routes
+    every task through :mod:`repro.exec`: worker subprocesses with a
+    hard watchdog and memory cap, retry with backoff for transient
+    failures, a flushed JSONL journal with checkpoint/resume, and
+    graceful SIGINT/SIGTERM shutdown that returns the partial campaign
+    (``Campaign.interrupted``).  In isolated + ``share_engines`` mode
+    each signature-compatible batch rides one worker with a private
+    engine pool — the in-process sharing, preserved per worker.  The
+    plain in-process path below stays the default and is byte-for-byte
+    the pre-supervisor behaviour.
     """
-    campaign = Campaign(timeout=timeout)
     solvers = list(solvers or SOLVER_ORDER)
+    if isolate or journal_path or resume or policy is not None:
+        return _run_campaign_supervised(
+            suites,
+            solvers=solvers,
+            timeout=timeout,
+            progress=progress,
+            problem_filter=problem_filter,
+            share_engines=share_engines,
+            engine_pool=engine_pool,
+            isolate=isolate,
+            journal_path=journal_path,
+            resume=resume,
+            policy=policy,
+        )
+    campaign = Campaign(timeout=timeout)
     pool = engine_pool
     if share_engines and pool is None:
         pool = EnginePool()
@@ -298,4 +377,121 @@ def run_campaign(
                     )
     if pool is not None:
         campaign.pool_stats = pool.as_dict()
+    return campaign
+
+
+def task_id_for(problem: Problem, solver_name: str) -> str:
+    """The stable journal/task key of one (problem, solver) pair."""
+    return f"{problem.suite}/{problem.name}/{solver_name}"
+
+
+def _record_from_exec(problem: Problem, solver_name: str, rec: dict) -> RunRecord:
+    """Rehydrate a supervisor verdict dict into a :class:`RunRecord`."""
+    return RunRecord(
+        problem,
+        solver_name,
+        Status(rec.get("status", "unknown")),
+        float(rec.get("elapsed") or 0.0),
+        bool(rec.get("correct", True)),
+        rec.get("model_size"),
+        rec.get("reason") or "",
+        dict(rec.get("details") or {}),
+        error_kind=rec.get("error_kind"),
+        attempts=int(rec.get("attempts") or 1),
+        traceback=rec.get("traceback") or "",
+    )
+
+
+def _run_campaign_supervised(
+    suites: Sequence[Suite],
+    *,
+    solvers: Sequence[str],
+    timeout: float,
+    progress: Optional[Callable[[str], None]],
+    problem_filter: Optional[Callable[[Problem], bool]],
+    share_engines: bool,
+    engine_pool: Optional[EnginePool],
+    isolate: bool,
+    journal_path: Optional[str],
+    resume: bool,
+    policy: Optional[object],
+) -> Campaign:
+    """The supervised campaign loop (see :func:`run_campaign`)."""
+    # imported here so the default fast path never pays for (or cycles
+    # with) the execution layer
+    from repro.exec.supervisor import ExecPolicy, TaskSpec, execute_tasks
+
+    if policy is None:
+        policy = ExecPolicy()
+    policy.isolate = policy.isolate or isolate
+    policy.share_engines = policy.share_engines or share_engines
+    tasks: list[TaskSpec] = []
+    task_problems: dict[str, tuple[Problem, str]] = {}
+    index = 0
+    for suite in suites:
+        problems = [
+            p
+            for p in suite
+            if problem_filter is None or problem_filter(p)
+        ]
+        if policy.share_engines:
+            problems = batch_order(problems)
+        for problem in problems:
+            group_key = None
+            if policy.share_engines and policy.isolate:
+                try:
+                    group_key = signature_fingerprint(
+                        preprocess(problem.build())
+                    )
+                except Exception as error:
+                    logger.warning(
+                        "could not fingerprint %s/%s for batching "
+                        "(%s); running it unshared",
+                        problem.suite,
+                        problem.name,
+                        error,
+                    )
+            for solver_name in solvers:
+                tid = task_id_for(problem, solver_name)
+                tasks.append(
+                    TaskSpec(
+                        task_id=tid,
+                        solver=solver_name,
+                        timeout=timeout,
+                        expected_status=problem.expected_status,
+                        problem=problem,
+                        index=index,
+                        # only ringen rides the engine pool; batching
+                        # the baselines by signature would be pointless
+                        group_key=(
+                            group_key if solver_name == "ringen" else None
+                        ),
+                    )
+                )
+                task_problems[tid] = (problem, solver_name)
+                index += 1
+    pool = engine_pool
+    if policy.share_engines and not policy.isolate and pool is None:
+        pool = EnginePool()
+    records, stats = execute_tasks(
+        tasks,
+        policy,
+        journal_path=journal_path,
+        resume=resume,
+        progress=progress,
+        engine_pool=pool,
+    )
+    campaign = Campaign(timeout=timeout)
+    for task in tasks:
+        rec = records.get(task.task_id)
+        if rec is None:
+            continue  # interrupted before this task ran
+        problem, solver_name = task_problems[task.task_id]
+        campaign.add(_record_from_exec(problem, solver_name, rec))
+    campaign.exec_stats = stats.as_dict()
+    campaign.interrupted = stats.interrupted
+    if pool is not None:
+        campaign.pool_stats = pool.as_dict()
+    elif stats.pool_stats is not None:
+        campaign.pool_stats = stats.pool_stats
     return campaign

@@ -271,6 +271,11 @@ class FinderStats:
     vectors_skipped: int = 0
     cores_extracted: int = 0
     hopeless: bool = False
+    # True when the sweep was cut short by the *wall-clock* deadline
+    # (mid-encoding or mid-solve) as opposed to the per-size conflict
+    # budget — the two exhaustion modes have different remedies (more
+    # time vs. more conflicts), so verdict reasons keep them apart
+    deadline_hit: bool = False
     # campaign mode: True when this search ran on a pool-shared engine,
     # and the clauses other problems had already contributed to that
     # engine when this finder attached (cross-problem reuse)
@@ -1139,6 +1144,7 @@ class _IncrementalEngine:
         grown = self.ensure(ctx, sizes)
         if grown is None:
             stats.vectors_exhausted += 1
+            stats.deadline_hit = True
             return _VectorOutcome()  # deadline hit mid-encoding
         if not self._ok:
             # Level-0 contradiction in the shared database: it can no
@@ -1148,6 +1154,7 @@ class _IncrementalEngine:
             pre_added = 0
             if self.ensure(ctx, sizes) is None:
                 stats.vectors_exhausted += 1
+                stats.deadline_hit = True
                 return _VectorOutcome()
             if not self._ok:
                 # A fresh encoding is contradictory without assumptions.
@@ -1193,6 +1200,8 @@ class _IncrementalEngine:
             # conflict budget or deadline exhausted: indeterminate, NOT
             # a refutation — the sweep's verdict must not claim it
             stats.vectors_exhausted += 1
+            if deadline is not None and time.monotonic() >= deadline:
+                stats.deadline_hit = True
             return _VectorOutcome()
         stats.vectors_refuted += 1
         if any(
@@ -1436,6 +1445,7 @@ class ModelFinder:
         ):
             if self.deadline is not None and time.monotonic() > self.deadline:
                 complete = False  # sweep cut short: verdict not definitive
+                stats.deadline_hit = True
                 break
             if self.core_guided_sweep and engine.vector_covered(ctx, sizes):
                 # a previous refutation's core transfers to this vector:
