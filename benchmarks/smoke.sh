@@ -27,6 +27,15 @@
 #     to produce its three structured error verdicts, or the flaky
 #     task does not recover via retry.
 #
+# Gate 5 (PR 7): SAT backend boundary ablation; emits
+# BENCH_backend.json and fails if
+#   * any backend configuration (pure-Python default, pure-Python
+#     without core minimization, PySAT when installed) disagrees on a
+#     status or model size,
+#   * core minimization never fires on the quick suite, or
+#   * the pure-Python default is more than 10% slower than its
+#     no-minimization baseline.
+#
 # Usage: benchmarks/smoke.sh   (from anywhere; CI runs it as-is)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -142,4 +151,32 @@ print(f"in-process: {inproc:.3f}s  isolated: {iso:.3f}s  "
       f"fault campaign: {totals['fault_time']:.3f}s "
       f"({totals['fault_retries']} retries)")
 print("OK: supervised execution verdict parity + structured faults")
+EOF
+
+python benchmarks/bench_backend.py
+
+python - <<'EOF'
+import json
+import sys
+
+with open("BENCH_backend.json") as handle:
+    report = json.load(handle)
+totals = report["totals"]
+
+if not totals["all_agree"]:
+    sys.exit("FAIL: SAT backend configurations disagree on a status")
+if totals["cores_minimized"] <= 0:
+    sys.exit("FAIL: core minimization never fired on the quick suite")
+
+on, off = totals["python_time"], totals["python-nomin_time"]
+print(f"backends: {', '.join(totals['configs'])}")
+print(f"python: {on:.3f}s  python w/o minimization: {off:.3f}s  "
+      f"({totals['cores_minimized']} cores minimized, "
+      f"{totals['core_lits_dropped']} literals dropped)")
+if "pysat_time" in totals:
+    print(f"pysat: {totals['pysat_time']:.3f}s")
+if on > 1.10 * off:
+    sys.exit(f"FAIL: pure-Python default {on:.3f}s is >10% slower than "
+             f"its no-minimization baseline {off:.3f}s")
+print("OK: backend boundary status parity + pure-Python within budget")
 EOF

@@ -3,6 +3,7 @@
 Usage (mirrors how the original RInGen binary was driven):
 
     python -m repro.cli problem.smt2                  # RInGen
+    python -m repro.cli solve problem.smt2            # same (explicit verb)
     python -m repro.cli --solver elem problem.smt2    # the Elem baseline
     python -m repro.cli --timeout 60 --model problem.smt2
 
@@ -13,6 +14,10 @@ UNSAT answers.  Unknown answers distinguish a completed sweep ("no
 finite model of total size <= N") from budget exhaustion on the reason
 line.  ``--no-cores`` / ``--no-lbd`` switch off the unsat-core-guided
 sweep and the LBD-tier learned-clause retention (ablation baselines).
+``--backend pysat`` swaps the SAT engine under the model finder for
+the optional `python-sat` Glucose adapter (see
+:mod:`repro.sat.backend`); when the dependency is missing the command
+fails up front with an actionable message and exit code 2.
 
 Campaign batch mode solves many files through one shared
 :class:`~repro.mace.pool.EnginePool`, so signature-compatible problems
@@ -49,6 +54,11 @@ from typing import Optional, Sequence
 from repro.chc.parser import ParseError, parse_chc
 from repro.core.ringen import RInGen, RInGenConfig
 from repro.mace.pool import EnginePool
+from repro.sat.backend import (
+    BACKEND_NAMES,
+    BackendUnavailableError,
+    make_backend,
+)
 from repro.solvers.elem import ElemConfig, ElemSolver
 from repro.solvers.induct import InductConfig, InductSolver
 from repro.solvers.sizeelem import SizeElemConfig, SizeElemSolver
@@ -110,6 +120,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="legacy length-based learned-clause GC instead of LBD "
         "tiers (ringen only)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="python",
+        help="SAT engine under the model finder: the in-repo "
+        "pure-Python CDCL solver or the optional python-sat/Glucose "
+        "adapter (ringen only; default: python)",
+    )
     return parser
 
 
@@ -147,6 +165,13 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         "--no-lbd",
         action="store_true",
         help="legacy length-based learned-clause GC instead of LBD tiers",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="python",
+        help="SAT engine under every model finder in the campaign "
+        "(default: python)",
     )
     parser.add_argument(
         "--isolate",
@@ -187,9 +212,26 @@ def build_campaign_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _backend_error(name: str) -> Optional[str]:
+    """Probe-construct the chosen SAT backend; the error text if it
+    cannot start (missing optional dependency), else ``None``."""
+    try:
+        probe = make_backend(name)
+    except BackendUnavailableError as error:
+        return str(error)
+    delete = getattr(probe, "delete", None)
+    if delete is not None:
+        delete()
+    return None
+
+
 def campaign_main(argv: Sequence[str]) -> int:
     """The ``campaign`` entry point: batch solving over a shared pool."""
     args = build_campaign_parser().parse_args(argv)
+    backend_problem = _backend_error(args.backend)
+    if backend_problem is not None:
+        print(f"error: {backend_problem}", file=sys.stderr)
+        return 2
     if args.resume and args.journal and args.resume != args.journal:
         print(
             "error: --resume and --journal must name the same file",
@@ -207,7 +249,9 @@ def campaign_main(argv: Sequence[str]) -> int:
     pool = (
         None
         if args.no_share
-        else EnginePool(lbd_retention=not args.no_lbd)
+        else EnginePool(
+            lbd_retention=not args.no_lbd, sat_backend=args.backend
+        )
     )
     failures = 0
     for path in args.files:
@@ -225,6 +269,7 @@ def campaign_main(argv: Sequence[str]) -> int:
                 engine_pool=pool,
                 core_guided_sweep=not args.no_cores,
                 lbd_retention=not args.no_lbd,
+                sat_backend=args.backend,
             )
         )
         start = time.monotonic()
@@ -253,6 +298,7 @@ def _campaign_supervised(args) -> int:
     solver_opts = {
         "core_guided_sweep": not args.no_cores,
         "lbd_retention": not args.no_lbd,
+        "sat_backend": args.backend,
     }
     policy = ExecPolicy(
         isolate=args.isolate,
@@ -296,7 +342,9 @@ def _campaign_supervised(args) -> int:
     journal = args.resume or args.journal
     pool = None
     if policy.share_engines and not policy.isolate:
-        pool = EnginePool(lbd_retention=not args.no_lbd)
+        pool = EnginePool(
+            lbd_retention=not args.no_lbd, sat_backend=args.backend
+        )
     records, stats = execute_tasks(
         tasks,
         policy,
@@ -341,7 +389,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "campaign":
         return campaign_main(list(argv[1:]))
+    if argv and argv[0] == "solve":
+        # explicit verb form: 'repro solve problem.smt2' — same parser
+        argv = list(argv[1:])
     args = build_parser().parse_args(argv)
+    backend_problem = _backend_error(args.backend)
+    if backend_problem is not None:
+        print(f"error: {backend_problem}", file=sys.stderr)
+        return 2
     if args.file == "-":
         text = sys.stdin.read()
     else:
@@ -361,6 +416,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         args.timeout,
         core_guided_sweep=not args.no_cores,
         lbd_retention=not args.no_lbd,
+        sat_backend=args.backend,
     )
     result = solver.solve(system)
     print(result.status.value)

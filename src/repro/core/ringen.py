@@ -49,6 +49,13 @@ class RInGenConfig:
     kept unconditionally) instead of by length.  Both default on; the
     ``benchmarks/bench_core.py`` ablation gates that verdicts are
     identical without them.
+    ``sat_backend`` names the SAT engine under the model finder
+    (``"python"`` — the in-repo CDCL solver, always available — or
+    ``"pysat"`` — the optional Glucose adapter; see
+    :mod:`repro.sat.backend`), and ``core_minimization`` runs
+    deletion-based minimization on every refuted vector's unsat core
+    before the core prunes the size sweep; the
+    ``benchmarks/bench_backend.py`` ablation gates both.
     ``automata_verification`` lets the exact Herbrand check decide
     variable-only clauses on the automata view (sparse products plus the
     memoized emptiness cache) instead of enumerating the finite model.
@@ -76,6 +83,8 @@ class RInGenConfig:
     max_learned_clauses: Optional[int] = 20_000
     core_guided_sweep: bool = True
     lbd_retention: bool = True
+    sat_backend: str = "python"
+    core_minimization: bool = True
     automata_verification: bool = True
     engine_pool: Optional[EnginePool] = None
     release_engines: bool = True
@@ -141,6 +150,7 @@ class RInGen:
             and cfg.incremental
             and cfg.symmetry_breaking == pool.symmetry_breaking
             and cfg.lbd_retention == pool.lbd_retention
+            and cfg.sat_backend == pool.sat_backend
         )
         if pooled:
             finder = pool.finder(
@@ -149,6 +159,7 @@ class RInGen:
                 max_conflicts_per_size=cfg.max_conflicts_per_size,
                 max_learned_clauses=cfg.max_learned_clauses,
                 core_guided_sweep=cfg.core_guided_sweep,
+                core_minimization=cfg.core_minimization,
             )
         else:
             finder = ModelFinder(
@@ -160,6 +171,8 @@ class RInGen:
                 max_learned_clauses=cfg.max_learned_clauses,
                 core_guided_sweep=cfg.core_guided_sweep,
                 lbd_retention=cfg.lbd_retention,
+                sat_backend=cfg.sat_backend,
+                core_minimization=cfg.core_minimization,
             )
         try:
             result = self._model_search(
@@ -300,6 +313,9 @@ def _accumulate(total: FinderStats, part: FinderStats) -> None:
     total.vectors_exhausted += part.vectors_exhausted
     total.vectors_skipped += part.vectors_skipped
     total.cores_extracted += part.cores_extracted
+    total.cores_minimized += part.cores_minimized
+    total.core_lits_dropped += part.core_lits_dropped
+    total.sat_backend = part.sat_backend
     total.hopeless = total.hopeless or part.hopeless
     total.deadline_hit = total.deadline_hit or part.deadline_hit
     total.engine_shared = total.engine_shared or part.engine_shared

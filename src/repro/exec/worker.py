@@ -191,7 +191,8 @@ def worker_entry(conn, payload: dict) -> None:
         from repro.mace.pool import EnginePool
 
         pool = EnginePool(
-            lbd_retention=(solver_opts or {}).get("lbd_retention", True)
+            lbd_retention=(solver_opts or {}).get("lbd_retention", True),
+            sat_backend=(solver_opts or {}).get("sat_backend", "python"),
         )
     from repro.chc.parser import parse_chc
 

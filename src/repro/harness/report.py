@@ -168,6 +168,44 @@ def campaign_report(
         )
         sections.append("")
 
+        # SAT backend breakdown: which engine ran under each finder and
+        # what the core pipeline did there — one row per backend so a
+        # mixed python/pysat campaign stays legible
+        by_backend: dict[str, list[dict]] = {}
+        for _, f in finder_rows:
+            by_backend.setdefault(
+                f.get("sat_backend", "python"), []
+            ).append(f)
+        sections.append("## Model finder — SAT backends")
+        sections.append("")
+        rows = []
+        for backend in sorted(by_backend):
+            group = by_backend[backend]
+            rows.append(
+                [
+                    backend,
+                    len(group),
+                    sum(g.get("vectors_refuted", 0) for g in group),
+                    sum(g.get("cores_extracted", 0) for g in group),
+                    sum(g.get("cores_minimized", 0) for g in group),
+                    sum(g.get("core_lits_dropped", 0) for g in group),
+                ]
+            )
+        sections.append(
+            markdown_table(
+                [
+                    "backend",
+                    "runs",
+                    "vectors refuted",
+                    "cores extracted",
+                    "cores minimized",
+                    "core literals dropped",
+                ],
+                rows,
+            )
+        )
+        sections.append("")
+
     # honest unknown verdicts: a completed sweep proves "no model <= N"
     # while a budget-cut sweep proves nothing — report which was which.
     # Execution-layer errors (crashes, hard kills, OOMs) are NOT

@@ -40,16 +40,25 @@ REPRESENTATION_ROW = {
 
 
 def make_solver(
-    name: str, timeout: float, *, engine_pool: Optional[EnginePool] = None
+    name: str,
+    timeout: float,
+    *,
+    engine_pool: Optional[EnginePool] = None,
+    sat_backend: str = "python",
 ):
     """Instantiate a solver under its Table 1 alias.
 
-    ``engine_pool`` (campaign batch mode) only concerns RInGen — the
-    baselines have no incremental engine to share and ignore it.
+    ``engine_pool`` (campaign batch mode) and ``sat_backend`` (the SAT
+    engine under the model finder) only concern RInGen — the baselines
+    have no incremental engine to share and ignore them.
     """
     if name == "ringen":
         return RInGen(
-            RInGenConfig(timeout=timeout, engine_pool=engine_pool)
+            RInGenConfig(
+                timeout=timeout,
+                engine_pool=engine_pool,
+                sat_backend=sat_backend,
+            )
         )
     if name == "eldarica":
         return SizeElemSolver(SizeElemConfig(timeout=timeout))

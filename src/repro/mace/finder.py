@@ -20,8 +20,11 @@ Incremental engine (the selector-literal encoding)
 --------------------------------------------------
 
 Consecutive size vectors share almost all of their ground encoding, so by
-default one persistent :class:`~repro.sat.solver.CDCLSolver` spans the
-whole sweep instead of being rebuilt per vector.  Size-dependence is
+default one persistent SAT engine — any
+:class:`~repro.sat.backend.SatBackend`, the in-repo
+:class:`~repro.sat.solver.CDCLSolver` unless ``sat_backend`` selects an
+external one — spans the whole sweep instead of being rebuilt per
+vector.  Size-dependence is
 expressed through *existence selectors*: for every sort ``s`` and index
 ``v`` a literal ``ex[s, v]`` reads "element ``v`` of sort ``s`` exists".
 The selectors form a prefix chain (``ex[s, v] -> ex[s, v-1]``; ``ex[s, 0]``
@@ -84,8 +87,9 @@ nothing references survives ``gc_window`` further registrations (so
 back-to-back problems from one family keep their rules warm) and is
 then retired — its selector pinned false via
 :meth:`~repro.sat.cnf.SelectorPool.retire`, which permanently satisfies
-its clauses, and a level-0 :meth:`~repro.sat.solver.CDCLSolver.simplify`
-physically drops them from the watch lists.  If unit propagation ever
+its clauses, and a level-0 ``simplify`` physically drops them from the
+watch lists (backends managing their own database treat the hint as a
+no-op).  If unit propagation ever
 fixes a group selector false at level 0, the database alone entails
 that clause is unsatisfiable under every assumption set, i.e. at every
 size vector: every problem containing it is ``hopeless`` and its sweep
@@ -97,7 +101,8 @@ Unsat-core–guided sweep and verdict completeness
 ------------------------------------------------
 
 Every vector is solved purely under assumptions, so a refuted vector
-yields an **unsat core** (:meth:`~repro.sat.solver.CDCLSolver.core`)
+yields an **unsat core** (the backend's ``core()``, optionally
+shrunk further by its deletion-based ``minimize_core()``)
 over exactly three kinds of literal: the problem's clause-group
 selectors, positive existence frontiers ``ex[s, k-1]`` ("sort ``s`` has
 at least ``k`` elements") and negative bounds ``-ex[s, k]`` ("at most
@@ -136,8 +141,8 @@ from repro.logic.formulas import TRUE
 from repro.logic.sorts import FuncSymbol, PredSymbol, Sort
 from repro.logic.terms import App, Term, Var
 from repro.mace.model import FiniteModel, validate_model
+from repro.sat.backend import SatBackend, make_backend
 from repro.sat.cnf import SelectorPool
-from repro.sat.solver import CDCLSolver
 
 
 class FinderError(ValueError):
@@ -270,7 +275,16 @@ class FinderStats:
     vectors_exhausted: int = 0
     vectors_skipped: int = 0
     cores_extracted: int = 0
+    # deletion-based minimization before cores become sweep bounds:
+    # cores that went through a minimization pass, and the assumption
+    # literals those passes removed (each removed size-bound literal
+    # widens the band of vectors the core refutes for free)
+    cores_minimized: int = 0
+    core_lits_dropped: int = 0
     hopeless: bool = False
+    # which SAT backend (repro.sat.backend) ran this search — reports
+    # aggregate finder statistics per backend
+    sat_backend: str = "python"
     # True when the sweep was cut short by the *wall-clock* deadline
     # (mid-encoding or mid-solve) as opposed to the per-size conflict
     # budget — the two exhaustion modes have different remedies (more
@@ -529,12 +543,17 @@ class _IncrementalEngine:
         symmetry_breaking: bool = True,
         gc_window: int = 8,
         lbd_retention: bool = True,
+        sat_backend: str = "python",
     ):
         self.sorts = list(sorts)
         self.functions = list(functions)
         self.predicates = list(predicates)
         self.symmetry_breaking = symmetry_breaking
         self.lbd_retention = lbd_retention
+        # name resolved through repro.sat.backend.make_backend; part of
+        # the engine's compatibility fingerprint (pooled engines never
+        # mix backends — solver state is not transferable between them)
+        self.sat_backend = sat_backend
         # how many problem registrations an unreferenced clause group
         # survives before its selector is retired and its clauses
         # dropped (campaign hygiene; see _gc_groups)
@@ -560,7 +579,9 @@ class _IncrementalEngine:
 
     # -- lifecycle ---------------------------------------------------------
     def _fresh(self) -> None:
-        self.solver = CDCLSolver(lbd_retention=self.lbd_retention)
+        self.solver: SatBackend = make_backend(
+            self.sat_backend, lbd_retention=self.lbd_retention
+        )
         self.selectors = SelectorPool(self.solver)
         self.cur: dict[Sort, int] = {s: 0 for s in self.sorts}
         # nested variable tables: one symbol hash to reach a table keyed
@@ -1124,6 +1145,7 @@ class _IncrementalEngine:
         max_conflicts: Optional[int] = None,
         max_learned_clauses: Optional[int] = None,
         collect_cores: bool = True,
+        minimize_cores: bool = True,
     ) -> _VectorOutcome:
         """Attempt one size vector; says *how* it failed, not just that.
 
@@ -1165,7 +1187,7 @@ class _IncrementalEngine:
                 return _VectorOutcome(refuted=True)
         stats.clauses_reused += pre_added
         limit = max_learned_clauses
-        if limit is not None and len(self.solver.learned_clauses) > limit:
+        if limit is not None and self.solver.learned_count() > limit:
             self.solver.reduce_learned(limit // 2)
         # a problem is activated as the set of its groups' selectors;
         # each assumption's *meaning* is remembered so an unsat core can
@@ -1185,13 +1207,16 @@ class _IncrementalEngine:
             hi = -self._ex(s, k)
             assumptions.append(hi)
             meaning[hi] = ("hi", s, k)
+        pre_conflicts = self.solver.stats.conflicts
         outcome = self.solver.solve(
             assumptions,
             max_conflicts=max_conflicts,
             deadline=deadline,
         )
         stats.sat_vars = max(stats.sat_vars, self.solver.num_vars)
-        stats.sat_clauses = max(stats.sat_clauses, len(self.solver.clauses))
+        stats.sat_clauses = max(
+            stats.sat_clauses, self.solver.clause_count()
+        )
         if outcome is True:
             return _VectorOutcome(
                 model=self._decode(sizes, self.solver.model())
@@ -1215,17 +1240,99 @@ class _IncrementalEngine:
             # — stop the sweep early
             ctx.hopeless = True
         if collect_cores:
-            self._record_core(ctx, meaning, stats)
+            # minimization probes only pay for themselves when the
+            # refutation they amortize against cost real search; a
+            # propagation-only refutation already has a cheap, re-derivable
+            # core, so probing it is pure overhead
+            effort = self.solver.stats.conflicts - pre_conflicts
+            self._record_core(
+                ctx, meaning, stats,
+                minimize=(
+                    minimize_cores
+                    and effort >= self.CORE_MIN_TRIGGER_CONFLICTS
+                ),
+                effort=effort,
+                deadline=deadline,
+            )
         return _VectorOutcome(refuted=True)
+
+    #: per-probe conflict budget of the deletion-based core
+    #: minimization pass (each dropped literal costs at most this many
+    #: conflicts; inconclusive probes just keep the literal)
+    CORE_MIN_CONFLICTS = 500
+
+    #: refutation cost (conflicts) below which a core is NOT worth
+    #: minimizing: near-propagation refutations recur cheaply, so
+    #: widening their stored bounds cannot win back the probe cost
+    CORE_MIN_TRIGGER_CONFLICTS = 10
+
+    #: refutation cost from which the long-shot upper-bound probes run
+    #: too (see :meth:`_record_core`); below it only the lower-bound
+    #: candidates — the probes that commonly succeed — are tried
+    CORE_MIN_HI_CONFLICTS = 100
 
     def _record_core(
         self,
         ctx: _ProblemContext,
         meaning: dict[int, tuple],
         stats: FinderStats,
+        *,
+        minimize: bool = True,
+        effort: int = 0,
+        deadline: Optional[float] = None,
     ) -> None:
-        """Translate the refutation's unsat core into reusable bounds."""
+        """Translate the refutation's unsat core into reusable bounds.
+
+        With ``minimize`` the core first goes through the backend's
+        deletion-based :meth:`minimize_core` (bounded re-solves, budget
+        capped per probe by the *refutation's own conflict count*
+        ``effort`` up to :data:`CORE_MIN_CONFLICTS`, and by the sweep
+        deadline — a probe never costs more than the search it is
+        trying to generalize): every size-bound literal dropped widens
+        the band of vectors the stored core covers, and a core
+        minimized down to clause-group selectors alone upgrades to a
+        size-independent refutation.
+        """
         core = self.solver.core()
+        # Only size-bound assumptions are worth deletion probes:
+        # dropping one widens the stored bounds, while dropping a
+        # clause-group selector leaves the translated core unchanged.
+        # Lower bounds are probed on multi-sort sweeps only — the
+        # sweep ascends and never revisits smaller totals, so widening
+        # a band downward pays solely through *other compositions* of a
+        # later total size.  Upper bounds are the long-shot probes: a
+        # droppable "hi" upgrades the core toward a size-independent
+        # refutation that stops the sweep, but such drops are rare, so
+        # the gamble is only taken after a refutation expensive enough
+        # (``CORE_MIN_HI_CONFLICTS``) that stopping the sweep would
+        # repay many failed probes.
+        multi_sort = len(self.sorts) > 1
+        probe_hi = effort >= self.CORE_MIN_HI_CONFLICTS
+        bound_lits = [
+            lit
+            for lit in core
+            if (probe_hi and meaning.get(lit, ("",))[0] == "hi")
+            or (multi_sort and meaning.get(lit, ("",))[0] == "lo")
+        ]
+        if minimize and bound_lits and len(core) > 1:
+            before = len(core)
+            # each probe may spend at most half the refutation's own
+            # conflict count (floor: the trigger): a conclusive unsat
+            # probe re-derives the refutation with the learned clauses
+            # already in place, so it is normally much cheaper than the
+            # original search, while a failed probe must not cost more
+            # than the work it was trying to generalize
+            core = self.solver.minimize_core(
+                max_conflicts_per_probe=min(
+                    self.CORE_MIN_CONFLICTS,
+                    max(effort // 2, self.CORE_MIN_TRIGGER_CONFLICTS),
+                ),
+                deadline=deadline,
+                candidates=bound_lits,
+            )
+            if len(core) < before:
+                stats.cores_minimized += 1
+                stats.core_lits_dropped += before - len(core)
         if not core:
             # an empty core means the shared database alone is unsat —
             # that is the reset safety valve's business, not evidence
@@ -1325,6 +1432,8 @@ class ModelFinder:
         engine: Optional[_IncrementalEngine] = None,
         core_guided_sweep: bool = True,
         lbd_retention: bool = True,
+        sat_backend: str = "python",
+        core_minimization: bool = True,
     ):
         self.system = system
         self.max_total_size = max_total_size
@@ -1336,6 +1445,8 @@ class ModelFinder:
         self.max_learned_clauses = max_learned_clauses
         self.core_guided_sweep = core_guided_sweep
         self.lbd_retention = lbd_retention
+        self.sat_backend = sat_backend
+        self.core_minimization = core_minimization
         counter = itertools.count()
         self.flat_clauses = [
             flatten_clause(cl, counter) for cl in system.clauses
@@ -1358,6 +1469,7 @@ class ModelFinder:
                 or engine.predicates != self.predicates
                 or engine.symmetry_breaking != symmetry_breaking
                 or engine.lbd_retention != lbd_retention
+                or engine.sat_backend != sat_backend
             ):
                 raise FinderError(
                     "shared engine signature does not match the system "
@@ -1407,6 +1519,7 @@ class ModelFinder:
                 self.predicates,
                 symmetry_breaking=self.symmetry_breaking,
                 lbd_retention=self.lbd_retention,
+                sat_backend=self.sat_backend,
             )
         engine = self._engine
         if self._ctx is None:
@@ -1418,6 +1531,7 @@ class ModelFinder:
             cross_problem_clauses=(
                 ctx.joined_at_clauses if self._shared_engine else 0
             ),
+            sat_backend=engine.sat_backend,
         )
         base_added = engine.total_added
         base_learned = engine.total_learned
@@ -1430,7 +1544,7 @@ class ModelFinder:
             stats.clauses_encoded = engine.total_added - base_added
             stats.learned_total = engine.total_learned - base_learned
             stats.learned_glue = engine.total_glue - base_glue
-            stats.learned_kept = len(engine.solver.learned_clauses)
+            stats.learned_kept = engine.solver.learned_count()
             stats.hopeless = ctx.hopeless
             if model is not None:
                 stats.model_size = model.size()
@@ -1463,6 +1577,7 @@ class ModelFinder:
                 max_conflicts=self.max_conflicts,
                 max_learned_clauses=self.max_learned_clauses,
                 collect_cores=self.core_guided_sweep,
+                minimize_cores=self.core_minimization,
             )
             if outcome.model is not None:
                 return finish(outcome.model)
@@ -1490,6 +1605,8 @@ def find_model(
     max_learned_clauses: Optional[int] = 20_000,
     core_guided_sweep: bool = True,
     lbd_retention: bool = True,
+    sat_backend: str = "python",
+    core_minimization: bool = True,
 ) -> FinderResult:
     """Search for a finite model of a constraint-free CHC system."""
     deadline = None if timeout is None else time.monotonic() + timeout
@@ -1504,5 +1621,7 @@ def find_model(
         max_learned_clauses=max_learned_clauses,
         core_guided_sweep=core_guided_sweep,
         lbd_retention=lbd_retention,
+        sat_backend=sat_backend,
+        core_minimization=core_minimization,
     )
     return finder.search()

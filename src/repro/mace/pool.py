@@ -122,6 +122,7 @@ class EnginePool:
         max_engines: Optional[int] = 8,
         max_problems_per_engine: Optional[int] = 64,
         lbd_retention: bool = True,
+        sat_backend: str = "python",
     ):
         self.symmetry_breaking = symmetry_breaking
         self.max_engines = max_engines
@@ -130,6 +131,10 @@ class EnginePool:
         # finders riding a pooled engine must agree with it (the
         # ModelFinder constructor enforces the match)
         self.lbd_retention = lbd_retention
+        # SAT backend of every engine this pool builds; part of the
+        # engine key so a mixed-backend campaign never hands a finder
+        # an engine built over the wrong solver
+        self.sat_backend = sat_backend
         self.stats = PoolStats()
         self._engines: "OrderedDict[tuple, _PooledEngine]" = OrderedDict()
 
@@ -140,7 +145,7 @@ class EnginePool:
         return signature_fingerprint(system)
 
     def _slot_for(self, system: CHCSystem) -> _PooledEngine:
-        key = signature_fingerprint(system)
+        key = (self.sat_backend, signature_fingerprint(system))
         slot = self._engines.get(key)
         if slot is not None and (
             self.max_problems_per_engine is not None
@@ -165,6 +170,7 @@ class EnginePool:
                     ),
                     symmetry_breaking=self.symmetry_breaking,
                     lbd_retention=self.lbd_retention,
+                    sat_backend=self.sat_backend,
                 )
             )
             self._engines[key] = slot
@@ -192,6 +198,7 @@ class EnginePool:
         min_total_size: int = 0,
         max_learned_clauses: Optional[int] = 20_000,
         core_guided_sweep: bool = True,
+        core_minimization: bool = True,
     ) -> ModelFinder:
         """A ModelFinder for ``system`` riding the pooled engine."""
         slot = self._slot_for(system)
@@ -209,6 +216,8 @@ class EnginePool:
             engine=engine,
             core_guided_sweep=core_guided_sweep,
             lbd_retention=self.lbd_retention,
+            sat_backend=self.sat_backend,
+            core_minimization=core_minimization,
         )
         self.stats.problems += 1
         slot.problems_hosted += 1

@@ -71,6 +71,13 @@ class SatStats:
     # and the number of unsat cores extracted by final-conflict analysis
     glue_learned: int = 0
     cores: int = 0
+    # dynamic LBD maintenance: learned clauses whose glue improved when
+    # they were reused as reasons (Glucose-style re-computation)
+    lbd_updates: int = 0
+    # deletion-based core minimization: probe solves issued and
+    # assumption literals they removed from cores
+    core_probes: int = 0
+    core_lits_removed: int = 0
 
 
 def _luby(i: int) -> int:
@@ -379,7 +386,14 @@ class CDCLSolver:
         levels are still live, and drives :meth:`reduce_learned`'s
         retention tiers.  Learned clauses consulted as reasons during
         the resolution walk get their activity bumped (bump/decay in the
-        Glucose style), so retention can break LBD ties by usefulness.
+        Glucose style), so retention can break LBD ties by usefulness,
+        and — with ``lbd_retention`` on — their LBD *re-computed* from
+        the live decision levels (Glucose's dynamic glue: a clause that
+        propagates inside fewer levels than at birth is more valuable
+        than its birth glue suggests, so :meth:`reduce_learned` should
+        rank it by its current glue).  The stored LBD only ever
+        improves; with ``lbd_retention`` off the birth LBD is kept
+        untouched (the legacy behaviour, for the ablation benchmark).
         """
         learned: list[int] = [0]  # slot 0 holds the asserting literal
         seen = [False] * (self.num_vars + 1)
@@ -389,6 +403,9 @@ class CDCLSolver:
         index = len(self._trail)
         current_level = len(self._trail_lim)
         cla_act = self._cla_act
+        lbd_tbl = self._lbd
+        dynamic_lbd = self.lbd_retention
+        level = self._level
         while True:
             assert reason is not None
             rid = id(reason)
@@ -398,6 +415,17 @@ class CDCLSolver:
                     for cid in cla_act:
                         cla_act[cid] *= 1e-20
                     self._cla_inc *= 1e-20
+                if dynamic_lbd:
+                    # reuse-time glue: recompute from the current levels
+                    # and keep the minimum seen (levels are live here —
+                    # this is the only point where reused reasons pass
+                    # through with their levels assigned)
+                    old_lbd = lbd_tbl.get(rid)
+                    if old_lbd is not None and old_lbd > self.GLUE_LBD:
+                        new_lbd = len({level[abs(q)] for q in reason})
+                        if new_lbd < old_lbd:
+                            lbd_tbl[rid] = new_lbd
+                            self.stats.lbd_updates += 1
             for q in reason:
                 if trail_lit is not None and q == trail_lit:
                     continue  # skip the literal this reason clause asserted
@@ -530,6 +558,75 @@ class CDCLSolver:
                 "core() is only available after solve() returned False"
             )
         return list(self._core)
+
+    def minimize_core(
+        self,
+        *,
+        max_conflicts_per_probe: int = 1_000,
+        deadline: Optional[float] = None,
+        candidates: Optional[Sequence[int]] = None,
+    ) -> list[int]:
+        """Deletion-based minimization of the last :meth:`core`.
+
+        Re-solves with one core literal deleted at a time (each probe
+        bounded by ``max_conflicts_per_probe`` conflicts and the
+        optional wall-clock ``deadline``); a probe that still answers
+        unsat proves the deleted literal redundant and replaces the
+        working core with the probe's own (possibly even smaller) core.
+        Inconclusive probes (sat, or budget exhausted) keep the literal
+        — the result is always a correct core, minimization is purely
+        best-effort within the budget.  On return :meth:`core` serves
+        the minimized core, exactly as if the original ``False`` answer
+        had produced it; any model a sat probe left behind is discarded.
+
+        ``candidates`` restricts which literals deletion is attempted
+        on (others are kept without probing) — callers that only profit
+        from dropping *specific* assumptions skip the probes that
+        cannot pay off.  The model finder runs this before a refutation
+        core becomes a sweep bound, with the size-bound literals as
+        candidates: every one dropped widens the band of size vectors
+        the core refutes for free, while dropping a clause-group
+        selector would not change the stored bounds at all.
+        """
+        core = self.core()
+        probe_set = (
+            None if candidates is None else {l for l in candidates}
+        )
+        i = 0
+        while len(core) > 1 and i < len(core):
+            if deadline is not None and time.monotonic() > deadline:
+                break
+            if probe_set is not None and core[i] not in probe_set:
+                i += 1
+                continue
+            trial = core[:i] + core[i + 1 :]
+            self.stats.core_probes += 1
+            outcome = self.solve(
+                trial,
+                max_conflicts=max_conflicts_per_probe,
+                deadline=deadline,
+            )
+            if outcome is False:
+                shrunk = set(self._core or ())
+                self.stats.core_lits_removed += len(core) - len(shrunk)
+                # keep the original order; the probe's core is a subset
+                # of ``trial`` so position ``i`` now names a fresh lit
+                core = [l for l in core if l in shrunk]
+            else:
+                i += 1
+        # the probes overwrote the solve-state flags; restore the
+        # contract of the original False answer with the refined core
+        self._model_ready = False
+        self._core = list(core)
+        return list(core)
+
+    def clause_count(self) -> int:
+        """Problem clauses currently in the database (learned excluded)."""
+        return len(self.clauses)
+
+    def learned_count(self) -> int:
+        """Learned clauses currently retained."""
+        return len(self.learned_clauses)
 
     def _analyze_final(
         self, conflict: Iterable[int], include: Optional[int] = None

@@ -200,7 +200,13 @@ class TestIncrementalUse:
         assert len(solver.learned_clauses) > 4
         dropped = solver.reduce_learned(4)
         assert dropped > 0
-        assert len(solver.learned_clauses) == 4
+        # glue clauses (dynamic LBD <= GLUE_LBD) survive the cap
+        # unconditionally; everything else must fit inside it
+        non_glue = [
+            c for c in solver.learned_clauses
+            if solver._lbd.get(id(c), 1 << 30) > CDCLSolver.GLUE_LBD
+        ]
+        assert len(non_glue) <= 4
         assert solver.solve(assumptions=[sel]) is False
         assert solver.solve(assumptions=[-sel]) is True
 
