@@ -36,6 +36,14 @@
 #   * the pure-Python default is more than 10% slower than its
 #     no-minimization baseline.
 #
+# Gate 6 (PR 8): engine snapshot/restore + warm cache; emits
+# BENCH_snapshot.json and fails if
+#   * a restored engine's verdicts diverge from cold runs,
+#   * a warm-cache second campaign diverges from the cold first run,
+#   * the warm run is not at least 10% faster than the cold run, or
+#   * a fault-killed engine-sharing worker's batch remainder is not
+#     rescheduled onto a warm-started worker with unchanged verdicts.
+#
 # Usage: benchmarks/smoke.sh   (from anywhere; CI runs it as-is)
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -179,4 +187,37 @@ if on > 1.10 * off:
     sys.exit(f"FAIL: pure-Python default {on:.3f}s is >10% slower than "
              f"its no-minimization baseline {off:.3f}s")
 print("OK: backend boundary status parity + pure-Python within budget")
+EOF
+
+python benchmarks/bench_snapshot.py
+
+python - <<'EOF'
+import json
+import sys
+
+with open("BENCH_snapshot.json") as handle:
+    report = json.load(handle)
+
+rt, wc, ww = report["roundtrip"], report["warmcache"], report["warmworkers"]
+if not rt["parity"]:
+    sys.exit("FAIL: restored-engine verdicts diverge from cold runs")
+if not wc["parity"]:
+    sys.exit("FAIL: warm-cache campaign verdicts diverge from cold run")
+if not wc["fast_enough"]:
+    sys.exit(f"FAIL: warm run {wc['warm_time']:.3f}s not >=10% faster "
+             f"than cold {wc['cold_time']:.3f}s")
+if not ww["parity"]:
+    sys.exit("FAIL: warm-rescheduled campaign verdicts diverge")
+if ww["workers_warm_started"] < 1:
+    sys.exit("FAIL: no worker was warm-started after the injected death")
+
+print(f"snapshot round-trip: {rt['agreed']}/{rt['problems']} agree "
+      f"({rt['snapshot_bytes']} bytes, {rt['snapshot_groups']} groups)")
+print(f"warm cache: cold {wc['cold_time']:.3f}s -> warm "
+      f"{wc['warm_time']:.3f}s "
+      f"({wc['warm_pool']['snapshot_hits']} snapshot hits)")
+print(f"warm workers: {ww['workers_warm_started']} warm-started, "
+      f"{ww['snapshots_collected']} snapshots collected, "
+      f"{ww['retries']} retries")
+print("OK: engine snapshot/restore parity + warm-cache speedup")
 EOF

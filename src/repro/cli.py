@@ -42,6 +42,20 @@ stopped:
     python -m repro.cli campaign --resume run.jsonl *.smt2   # finish it
     python -m repro.cli campaign --isolate --mem-limit 2048 \\
         --max-retries 3 *.smt2
+
+Warm cache (``--warm-cache DIR``, solve and campaign): persists each
+engine's serialized state (clauses, learned clauses, heuristic scores,
+per-signature refutation cores) to ``DIR`` when the run completes, and
+warm-starts later runs over the same ADT signatures from it.  Verdicts
+are unaffected — the cache only changes the solver state a run starts
+from; corrupted, stale or incompatible cache entries are rejected and
+the run falls back to a cold start:
+
+    python -m repro.cli campaign --warm-cache .engines *.smt2  # cold
+    python -m repro.cli campaign --warm-cache .engines *.smt2  # warm
+
+A resumed journal may point at a different (or no) warm cache: the
+journal's configuration fingerprint deliberately excludes it.
 """
 
 from __future__ import annotations
@@ -128,6 +142,13 @@ def build_parser() -> argparse.ArgumentParser:
         "pure-Python CDCL solver or the optional python-sat/Glucose "
         "adapter (ringen only; default: python)",
     )
+    parser.add_argument(
+        "--warm-cache",
+        metavar="DIR",
+        help="disk cache of serialized engines: warm-start from DIR if "
+        "a compatible engine is cached there, and persist this run's "
+        "engine back on completion (ringen only)",
+    )
     return parser
 
 
@@ -209,6 +230,13 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         help="per-worker address-space cap in MiB; allocation beyond it "
         "becomes a structured error:oom verdict (isolated mode)",
     )
+    parser.add_argument(
+        "--warm-cache",
+        metavar="DIR",
+        help="disk cache of serialized engines: warm-start each "
+        "signature's engine from DIR when compatible state is cached "
+        "there, and persist the campaign's engines back on completion",
+    )
     return parser
 
 
@@ -250,7 +278,9 @@ def campaign_main(argv: Sequence[str]) -> int:
         None
         if args.no_share
         else EnginePool(
-            lbd_retention=not args.no_lbd, sat_backend=args.backend
+            lbd_retention=not args.no_lbd,
+            sat_backend=args.backend,
+            cache_dir=args.warm_cache,
         )
     )
     failures = 0
@@ -278,20 +308,42 @@ def campaign_main(argv: Sequence[str]) -> int:
         print(f"{path}: {result.status.value} ({elapsed:.2f}s)")
         if result.is_unknown:
             failures += 1
-    if pool is not None and not args.quiet:
-        stats = pool.as_dict()
-        print(
-            f"; pool: {stats['problems']} problems, "
-            f"{stats['engines_created']} engines, "
-            f"{stats['engine_hits']} warm-engine hits, "
-            f"{stats['cross_problem_clauses']} clauses inherited"
-        )
+    if pool is not None:
+        pool.flush_cache()
+        if not args.quiet:
+            stats = pool.as_dict()
+            print(
+                f"; pool: {stats['problems']} problems, "
+                f"{stats['engines_created']} engines, "
+                f"{stats['engine_hits']} warm-engine hits, "
+                f"{stats['cross_problem_clauses']} clauses inherited"
+                + _snapshot_note(stats)
+            )
     return failures
+
+
+def _snapshot_note(stats: dict) -> str:
+    """Warm-cache suffix for the pool summary line (empty when the
+    run never touched snapshots)."""
+    touched = (
+        stats.get("snapshot_saves", 0)
+        + stats.get("snapshot_hits", 0)
+        + stats.get("snapshot_misses", 0)
+        + stats.get("snapshot_rejected", 0)
+    )
+    if not touched:
+        return ""
+    return (
+        f"; snapshots: {stats.get('snapshot_saves', 0)} saved, "
+        f"{stats.get('snapshot_hits', 0)} warm starts, "
+        f"{stats.get('snapshot_rejected', 0)} rejected"
+    )
 
 
 def _campaign_supervised(args) -> int:
     """Supervised campaign over files: workers, journal, resume."""
     from repro.chc.transform import preprocess
+    from repro.exec.journal import JournalError
     from repro.exec.supervisor import ExecPolicy, TaskSpec, execute_tasks
     from repro.mace.pool import signature_fingerprint
 
@@ -300,6 +352,8 @@ def _campaign_supervised(args) -> int:
         "lbd_retention": not args.no_lbd,
         "sat_backend": args.backend,
     }
+    if args.warm_cache:
+        solver_opts["engine_cache_dir"] = args.warm_cache
     policy = ExecPolicy(
         isolate=args.isolate,
         share_engines=not args.no_share,
@@ -343,16 +397,24 @@ def _campaign_supervised(args) -> int:
     pool = None
     if policy.share_engines and not policy.isolate:
         pool = EnginePool(
-            lbd_retention=not args.no_lbd, sat_backend=args.backend
+            lbd_retention=not args.no_lbd,
+            sat_backend=args.backend,
+            cache_dir=args.warm_cache,
         )
-    records, stats = execute_tasks(
-        tasks,
-        policy,
-        journal_path=journal,
-        resume=bool(args.resume),
-        progress=print,
-        engine_pool=pool,
-    )
+    try:
+        records, stats = execute_tasks(
+            tasks,
+            policy,
+            journal_path=journal,
+            resume=bool(args.resume),
+            progress=print,
+            engine_pool=pool,
+        )
+    except JournalError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if pool is not None:
+        pool.flush_cache()
     for task in tasks:
         record = records.get(task.task_id)
         if record is None:
@@ -368,6 +430,7 @@ def _campaign_supervised(args) -> int:
                 f"{pool_stats.get('engine_hits', 0)} warm-engine hits, "
                 f"{pool_stats.get('cross_problem_clauses', 0)} "
                 f"clauses inherited"
+                + _snapshot_note(pool_stats)
             )
         errors = stats.error_counts
         error_note = (
@@ -417,6 +480,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         core_guided_sweep=not args.no_cores,
         lbd_retention=not args.no_lbd,
         sat_backend=args.backend,
+        engine_cache_dir=args.warm_cache,
     )
     result = solver.solve(system)
     print(result.status.value)

@@ -67,7 +67,12 @@ class RInGenConfig:
     ``incremental``).  ``release_engines`` retires each problem's
     activation selector from the pool once its solve finishes — the
     default hygiene for long campaigns; switch it off to inspect
-    contexts afterwards.
+    contexts afterwards.  ``engine_cache_dir`` points at a disk-backed
+    warm cache of serialized engines (see
+    :class:`~repro.mace.pool.EnginePool`): without an injected pool, a
+    solve builds a private pool over that cache, so repeated runs on
+    the same signature start from the previous run's encodings, learned
+    clauses and refutation bounds (the CLI's ``--warm-cache``).
     """
 
     max_model_size: int = 12
@@ -88,6 +93,7 @@ class RInGenConfig:
     automata_verification: bool = True
     engine_pool: Optional[EnginePool] = None
     release_engines: bool = True
+    engine_cache_dir: Optional[str] = None
 
 
 class RInGen:
@@ -145,6 +151,18 @@ class RInGen:
         # mode the finder additionally rides the pool's shared engine for
         # this signature, inheriting other problems' state.
         pool = cfg.engine_pool
+        ephemeral: Optional[EnginePool] = None
+        if pool is None and cfg.engine_cache_dir and cfg.incremental:
+            # no shared pool, but a warm cache: a private pool scoped to
+            # this solve loads the signature's engine from disk (if any)
+            # and persists it back when done
+            ephemeral = EnginePool(
+                symmetry_breaking=cfg.symmetry_breaking,
+                lbd_retention=cfg.lbd_retention,
+                sat_backend=cfg.sat_backend,
+                cache_dir=cfg.engine_cache_dir,
+            )
+            pool = ephemeral
         pooled = (
             pool is not None
             and cfg.incremental
@@ -181,6 +199,8 @@ class RInGen:
         finally:
             if pooled and cfg.release_engines:
                 pool.release(finder)
+            if ephemeral is not None:
+                ephemeral.flush_cache()
         if pooled:
             result.details["engine_pool"] = {
                 "pooled": True,

@@ -16,6 +16,7 @@ any other malformed line rather than silently dropping verdicts.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import logging
 import os
@@ -29,6 +30,25 @@ JOURNAL_VERSION = 1
 
 class JournalError(ValueError):
     """Raised when a journal cannot be used for resume."""
+
+
+def config_fingerprint(solver_opts: Optional[dict]) -> str:
+    """Short stable hash of the solver configuration a journal ran under.
+
+    Splicing verdicts produced under one solver configuration into a
+    campaign running another silently mixes incomparable results, so
+    the fingerprint is recorded in the journal meta and enforced on
+    resume.  ``engine_cache_dir`` is excluded: the warm cache changes
+    where solver state comes from, never what verdicts mean, and a
+    resume must be allowed to point at a different (or no) cache.
+    """
+    opts = {
+        k: v
+        for k, v in (solver_opts or {}).items()
+        if k != "engine_cache_dir"
+    }
+    blob = json.dumps(opts, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:16]
 
 
 class ResultsJournal:
@@ -115,15 +135,51 @@ def load_journal(path: str) -> tuple[dict, dict[str, dict]]:
     return meta, entries
 
 
-def check_meta(meta: dict, *, timeout: float, solvers: list[str]) -> None:
-    """Warn when a resumed journal came from a different configuration.
+def check_meta(
+    meta: dict,
+    *,
+    timeout: float,
+    solvers: list[str],
+    sat_backend: Optional[str] = None,
+    fingerprint: Optional[str] = None,
+) -> None:
+    """Validate a resumed journal against the current configuration.
 
-    Resume still proceeds — the journaled verdicts are real verdicts —
-    but mixing timeouts or solver sets across the splice is worth a
-    loud note in the log.
+    Mixing *timeouts* or *solver sets* across the splice only skews
+    comparability, so those mismatches warn and proceed — the journaled
+    verdicts are real verdicts.  Mixing *SAT backends* or *solver
+    configurations* (``config_fingerprint``) changes what the verdicts
+    mean, so when the journal recorded those fields and they disagree,
+    resume is refused with a :class:`JournalError` naming both sides.
+    Journals written before these fields existed lack them and resume
+    with a warning only.
     """
     if not meta:
         return
+    j_backend = meta.get("sat_backend")
+    if (
+        sat_backend is not None
+        and j_backend is not None
+        and j_backend != sat_backend
+    ):
+        raise JournalError(
+            f"journal was recorded with SAT backend {j_backend!r} but "
+            f"this campaign uses {sat_backend!r}; resuming would mix "
+            f"incomparable verdicts — use a fresh journal or the "
+            f"recorded backend"
+        )
+    j_fingerprint = meta.get("config_fingerprint")
+    if (
+        fingerprint is not None
+        and j_fingerprint is not None
+        and j_fingerprint != fingerprint
+    ):
+        raise JournalError(
+            f"journal was recorded under solver configuration "
+            f"{j_fingerprint} but this campaign is configured as "
+            f"{fingerprint}; resuming would mix incomparable verdicts "
+            f"— use a fresh journal or the recorded configuration"
+        )
     j_timeout = meta.get("timeout")
     if j_timeout is not None and abs(j_timeout - timeout) > 1e-9:
         logger.warning(

@@ -52,7 +52,12 @@ from repro.exec.faults import (
     ReproFaultPlan,
     TransientWorkerFault,
 )
-from repro.exec.journal import ResultsJournal, check_meta, load_journal
+from repro.exec.journal import (
+    ResultsJournal,
+    check_meta,
+    config_fingerprint,
+    load_journal,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -158,6 +163,11 @@ class ExecStats:
     tasks_resumed: int = 0
     retries: int = 0
     workers_spawned: int = 0
+    # engine-snapshot hand-off between workers: workers that started
+    # from a predecessor's snapshot instead of cold, and snapshots
+    # received back alongside verdicts (the supply side)
+    workers_warm_started: int = 0
+    snapshots_collected: int = 0
     interrupted: bool = False
     isolate: bool = False
     error_counts: dict[str, int] = field(default_factory=dict)
@@ -183,6 +193,8 @@ class ExecStats:
             "tasks_resumed": self.tasks_resumed,
             "retries": self.retries,
             "workers_spawned": self.workers_spawned,
+            "workers_warm_started": self.workers_warm_started,
+            "snapshots_collected": self.snapshots_collected,
             "interrupted": self.interrupted,
             "isolate": self.isolate,
             "error_counts": dict(self.error_counts),
@@ -216,9 +228,12 @@ def execute_tasks(
     stats = ExecStats(tasks_total=len(tasks), isolate=policy.isolate)
     results: dict[str, dict] = {}
     pending = list(tasks)
+    solver_opts = policy.solver_opts or {}
     meta = {
         "timeout": tasks[0].timeout if tasks else None,
         "solvers": sorted({t.solver for t in tasks}),
+        "sat_backend": solver_opts.get("sat_backend", "python"),
+        "config_fingerprint": config_fingerprint(policy.solver_opts),
     }
     journal: Optional[ResultsJournal] = None
     if journal_path:
@@ -228,6 +243,8 @@ def execute_tasks(
                 old_meta,
                 timeout=meta["timeout"] or 0.0,
                 solvers=meta["solvers"],
+                sat_backend=meta["sat_backend"],
+                fingerprint=meta["config_fingerprint"],
             )
             for task in tasks:
                 entry = entries.get(task.task_id)
@@ -426,6 +443,11 @@ def _execute_isolated(
 ) -> None:
     attempts = {t.task_id: 1 for t in pending}
     queue: deque[list[TaskSpec]] = deque(_batches(pending, policy))
+    # latest engine snapshot per signature group_key: workers return
+    # their engine state alongside verdicts, and the next worker for
+    # the same group — a rescheduled remainder after a mid-batch death,
+    # a retried survivor — starts from it instead of cold
+    snapshots: dict[object, dict] = {}
     while queue:
         batch = queue.popleft()
         for task in batch:
@@ -445,17 +467,19 @@ def _execute_isolated(
             )
 
         retry, reschedule = _run_worker_batch(
-            batch, policy, plan, attempts, stats, finish
+            batch, policy, plan, attempts, stats, finish, snapshots
         )
         # retried tasks run next (singleton workers, attempt bumped);
         # rescheduled tasks were bystanders of a batch failure and keep
-        # their attempt count
+        # their attempt count.  Survivors are re-batched by group_key so
+        # several tasks sharing a fingerprint ride one (warm) worker
+        # again instead of degenerating into cold singletons.
         for task in reversed(retry):
             attempts[task.task_id] += 1
             stats.retries += 1
             queue.appendleft([task])
-        for task in reschedule:
-            queue.append([task])
+        for regrouped in _batches(reschedule, policy):
+            queue.append(regrouped)
 
 
 def _batches(
@@ -548,6 +572,7 @@ def _run_worker_batch(
     attempts: dict[str, int],
     stats: ExecStats,
     finish: Callable[[TaskSpec, dict], None],
+    snapshots: Optional[dict] = None,
 ) -> tuple[list[TaskSpec], list[TaskSpec]]:
     """Run one batch in one worker; classify every way it can end.
 
@@ -557,9 +582,25 @@ def _run_worker_batch(
     mid-batch loses nothing already decided.  Returns
     ``(retry, reschedule)``: transient failures with budget left, and
     innocent bystanders of a batch failure.
+
+    With engine sharing on, the payload carries the latest engine
+    snapshot recorded for the batch's ``group_key`` (warm start), and
+    every verdict message coming back may carry the worker's current
+    engine snapshot, which replaces the stored one — so whatever the
+    worker manages to send before dying seeds its successors.
+    Snapshots are supervisor-side state only: they are stripped from
+    the record before it reaches the journal.
     """
     ctx = _mp_context()
     parent, child = ctx.Pipe(duplex=False)
+    group_key = batch[0].group_key
+    warm: Optional[dict] = None
+    if (
+        policy.share_engines
+        and snapshots is not None
+        and group_key is not None
+    ):
+        warm = snapshots.get(group_key)
     payload = {
         "tasks": [
             {
@@ -573,11 +614,24 @@ def _run_worker_batch(
             }
             for t in batch
         ],
-        "share_engines": policy.share_engines and len(batch) > 1,
+        # a lone rescheduled survivor still builds a pool when it has a
+        # snapshot to warm-start from
+        "share_engines": policy.share_engines
+        and (len(batch) > 1 or warm is not None),
         "mem_limit_mb": policy.mem_limit_mb,
         "fault_plan": plan.encode() if plan else None,
         "solver_opts": policy.solver_opts,
+        "engine_snapshot": warm,
     }
+    if warm is not None:
+        stats.workers_warm_started += 1
+
+    def collect(record: dict) -> None:
+        """Pull a returned snapshot out of a verdict record (if any)."""
+        snap = record.pop("engine_snapshot", None)
+        if snap is not None and snapshots is not None and group_key is not None:
+            snapshots[group_key] = snap
+            stats.snapshots_collected += 1
     proc = ctx.Process(
         target=worker_mod.worker_entry, args=(child, payload), daemon=True
     )
@@ -642,6 +696,7 @@ def _run_worker_batch(
                 reschedule.extend(batch[index + 1:])
                 return retry, reschedule
             assert isinstance(msg, dict)
+            collect(msg)
             finish(task, msg)
             index += 1
         # drain the done message (carries per-worker pool counters)

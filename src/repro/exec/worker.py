@@ -177,7 +177,13 @@ def worker_entry(conn, payload: dict) -> None:
         {"tasks": [{"task_id", "smt_text", "solver", "timeout",
                     "expected_status", "index", "attempt"}, ...],
          "share_engines": bool, "mem_limit_mb": int | None,
-         "fault_plan": str | None, "solver_opts": dict | None}
+         "fault_plan": str | None, "solver_opts": dict | None,
+         "engine_snapshot": dict | None}
+
+    ``engine_snapshot`` (engine sharing only) warm-starts the worker's
+    pool from a predecessor's serialized engine; each verdict message
+    carries the pool's current snapshot back so the supervisor can
+    reschedule the batch remainder warm after a worker death.
     """
     # the supervisor owns interrupt handling; a Ctrl-C aimed at the
     # campaign must not corrupt a worker mid-message
@@ -193,7 +199,13 @@ def worker_entry(conn, payload: dict) -> None:
         pool = EnginePool(
             lbd_retention=(solver_opts or {}).get("lbd_retention", True),
             sat_backend=(solver_opts or {}).get("sat_backend", "python"),
+            cache_dir=(solver_opts or {}).get("engine_cache_dir"),
         )
+        warm = payload.get("engine_snapshot")
+        if warm is not None:
+            # warm start: a predecessor's engine state for this batch's
+            # signature (adoption failure silently falls back cold)
+            pool.adopt_snapshot(warm)
     from repro.chc.parser import parse_chc
 
     try:
@@ -224,9 +236,17 @@ def worker_entry(conn, payload: dict) -> None:
             except Exception as error:
                 record = crash_record(error, time.monotonic() - start)
             record["task"] = task_id
+            if pool is not None:
+                # ship the engine state with every verdict: whatever
+                # the worker last managed to send seeds a warm restart
+                # of the batch remainder if this process dies next
+                snap = pool.last_snapshot()
+                if snap is not None:
+                    record["engine_snapshot"] = snap
             conn.send(record)
         done: dict = {DONE: True}
         if pool is not None:
+            pool.flush_cache()
             done["pool_stats"] = pool.as_dict()
         conn.send(done)
     finally:

@@ -290,6 +290,14 @@ def campaign_report(
             ["tasks resumed from journal", stats.get("tasks_resumed", 0)],
             ["transient retries", stats.get("retries", 0)],
             ["workers spawned", stats.get("workers_spawned", 0)],
+            [
+                "workers warm-started",
+                stats.get("workers_warm_started", 0),
+            ],
+            [
+                "engine snapshots collected",
+                stats.get("snapshots_collected", 0),
+            ],
             ["interrupted", "yes" if stats.get("interrupted") else "no"],
         ]
         for kind in sorted(error_counts):
@@ -297,7 +305,9 @@ def campaign_report(
         sections.append(markdown_table(["metric", "value"], rows))
         sections.append("")
 
-    # campaign batch mode: cross-problem engine sharing
+    # campaign batch mode: cross-problem engine sharing — rendered
+    # uniformly from the consolidated PoolStats dict, so new counters
+    # (e.g. warm-cache snapshot accounting) appear without edits here
     if campaign.pool_stats is not None:
         sections.append("## Campaign engine pool — cross-problem reuse")
         sections.append("")
@@ -305,24 +315,24 @@ def campaign_report(
         pooled_runs = sum(
             1 for _, f in finder_rows if f.get("engine_shared")
         )
-        sections.append(
-            markdown_table(
-                ["metric", "value"],
-                [
-                    ["problems through the pool", pool.get("problems", 0)],
-                    ["runs on a shared engine", pooled_runs],
-                    ["engines created", pool.get("engines_created", 0)],
-                    ["warm-engine hits", pool.get("engine_hits", 0)],
-                    [
-                        "cross-problem clauses inherited",
-                        pool.get("cross_problem_clauses", 0),
-                    ],
-                    ["engines recycled", pool.get("engine_recycles", 0)],
-                    ["engines evicted", pool.get("engines_evicted", 0)],
-                    ["problems released", pool.get("released", 0)],
-                ],
-            )
-        )
+        labels = {
+            "problems": "problems through the pool",
+            "engines_created": "engines created",
+            "engine_hits": "warm-engine hits",
+            "cross_problem_clauses": "cross-problem clauses inherited",
+            "engine_recycles": "engines recycled",
+            "engines_evicted": "engines evicted",
+            "released": "problems released",
+            "engines_live": "engines live at the end",
+            "snapshot_saves": "snapshots persisted to the warm cache",
+            "snapshot_hits": "warm starts from a snapshot",
+            "snapshot_misses": "warm-cache misses",
+            "snapshot_rejected": "snapshots rejected (fell back cold)",
+        }
+        rows = [["runs on a shared engine", pooled_runs]]
+        for key, value in pool.items():
+            rows.append([labels.get(key, key.replace("_", " ")), value])
+        sections.append(markdown_table(["metric", "value"], rows))
         sections.append("")
 
     # per-problem appendix: everything any solver answered

@@ -45,12 +45,14 @@ def make_solver(
     *,
     engine_pool: Optional[EnginePool] = None,
     sat_backend: str = "python",
+    engine_cache_dir: Optional[str] = None,
 ):
     """Instantiate a solver under its Table 1 alias.
 
-    ``engine_pool`` (campaign batch mode) and ``sat_backend`` (the SAT
-    engine under the model finder) only concern RInGen — the baselines
-    have no incremental engine to share and ignore them.
+    ``engine_pool`` (campaign batch mode), ``sat_backend`` (the SAT
+    engine under the model finder) and ``engine_cache_dir`` (the disk
+    warm cache of serialized engines) only concern RInGen — the
+    baselines have no incremental engine to share and ignore them.
     """
     if name == "ringen":
         return RInGen(
@@ -58,6 +60,7 @@ def make_solver(
                 timeout=timeout,
                 engine_pool=engine_pool,
                 sat_backend=sat_backend,
+                engine_cache_dir=engine_cache_dir,
             )
         )
     if name == "eldarica":
@@ -322,6 +325,7 @@ def run_campaign(
     journal_path: Optional[str] = None,
     resume: bool = False,
     policy: Optional[object] = None,
+    engine_cache_dir: Optional[str] = None,
 ) -> Campaign:
     """Run the full (suite x solver) product.
 
@@ -332,6 +336,9 @@ def run_campaign(
     back-to-back, and the pool's cross-problem reuse counters land in
     ``Campaign.pool_stats``.  Verdicts are unaffected — the pool only
     changes which solver state the model finder starts from.
+    ``engine_cache_dir`` additionally persists engines to a disk warm
+    cache, so a later campaign over the same benchmark families starts
+    from this one's solver state (flushed when the run completes).
 
     Supervised execution (``isolate``, ``journal_path``, ``resume``, or
     an explicit :class:`repro.exec.ExecPolicy` in ``policy``) routes
@@ -359,11 +366,12 @@ def run_campaign(
             journal_path=journal_path,
             resume=resume,
             policy=policy,
+            engine_cache_dir=engine_cache_dir,
         )
     campaign = Campaign(timeout=timeout)
     pool = engine_pool
     if share_engines and pool is None:
-        pool = EnginePool()
+        pool = EnginePool(cache_dir=engine_cache_dir)
     for suite in suites:
         problems = [
             p
@@ -385,6 +393,7 @@ def run_campaign(
                         f"({record.elapsed:.2f}s)"
                     )
     if pool is not None:
+        pool.flush_cache()
         campaign.pool_stats = pool.as_dict()
     return campaign
 
@@ -424,6 +433,7 @@ def _run_campaign_supervised(
     journal_path: Optional[str],
     resume: bool,
     policy: Optional[object],
+    engine_cache_dir: Optional[str] = None,
 ) -> Campaign:
     """The supervised campaign loop (see :func:`run_campaign`)."""
     # imported here so the default fast path never pays for (or cycles
@@ -434,6 +444,13 @@ def _run_campaign_supervised(
         policy = ExecPolicy()
     policy.isolate = policy.isolate or isolate
     policy.share_engines = policy.share_engines or share_engines
+    if engine_cache_dir:
+        # ship the warm-cache location to workers through the solver
+        # options (RInGenConfig.engine_cache_dir); the journal's config
+        # fingerprint deliberately ignores this key
+        opts = dict(policy.solver_opts or {})
+        opts.setdefault("engine_cache_dir", engine_cache_dir)
+        policy.solver_opts = opts
     tasks: list[TaskSpec] = []
     task_problems: dict[str, tuple[Problem, str]] = {}
     index = 0
@@ -481,7 +498,7 @@ def _run_campaign_supervised(
                 index += 1
     pool = engine_pool
     if policy.share_engines and not policy.isolate and pool is None:
-        pool = EnginePool()
+        pool = EnginePool(cache_dir=engine_cache_dir)
     records, stats = execute_tasks(
         tasks,
         policy,
@@ -500,6 +517,7 @@ def _run_campaign_supervised(
     campaign.exec_stats = stats.as_dict()
     campaign.interrupted = stats.interrupted
     if pool is not None:
+        pool.flush_cache()
         campaign.pool_stats = pool.as_dict()
     elif stats.pool_stats is not None:
         campaign.pool_stats = stats.pool_stats

@@ -65,6 +65,12 @@ class App:
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("App instances are immutable")
 
+    def __reduce__(self):
+        # slots + the raising __setattr__ break default pickling;
+        # rebuilding through the constructor revalidates sorts and
+        # recomputes the caches (terms travel in engine snapshots)
+        return (App, (self.func, self.args))
+
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True

@@ -141,12 +141,57 @@ from repro.logic.formulas import TRUE
 from repro.logic.sorts import FuncSymbol, PredSymbol, Sort
 from repro.logic.terms import App, Term, Var
 from repro.mace.model import FiniteModel, validate_model
-from repro.sat.backend import SatBackend, make_backend
+from repro.sat.backend import SatBackend, make_backend, restore_backend
 from repro.sat.cnf import SelectorPool
 
 
 class FinderError(ValueError):
     """Raised on inputs the finder cannot encode."""
+
+
+class EngineSnapshotError(FinderError):
+    """An engine snapshot cannot be restored (wrong schema/version,
+    mismatched signature fingerprint, or an unusable solver snapshot).
+    Callers holding possibly-stale snapshots (the pool's disk warm
+    cache, a supervised worker's task payload) treat this as "fall
+    back to a cold engine", never as a campaign failure."""
+
+
+#: schema version of :meth:`_IncrementalEngine.snapshot`; bumped
+#: whenever the serialized layout changes incompatibly.  ``restore``
+#: rejects any other version instead of guessing.
+ENGINE_SNAPSHOT_VERSION = 1
+
+
+def engine_fingerprint(sorts, functions, predicates) -> tuple:
+    """Canonical, hashable fingerprint of an engine signature.
+
+    Order-insensitive over the three symbol families, built purely from
+    names and sort names, so it is stable across processes and pickle
+    round-trips.  :func:`repro.mace.pool.signature_fingerprint`
+    delegates here, which is what guarantees a snapshot taken from a
+    pooled engine carries exactly the fingerprint the pool will later
+    look it up under.
+    """
+    return (
+        tuple(sorted(s.name for s in sorts)),
+        tuple(
+            sorted(
+                (
+                    f.name,
+                    tuple(s.name for s in f.arg_sorts),
+                    f.result_sort.name,
+                )
+                for f in functions
+            )
+        ),
+        tuple(
+            sorted(
+                (p.name, tuple(s.name for s in p.arg_sorts))
+                for p in predicates
+            )
+        ),
+    )
 
 
 @dataclass
@@ -567,6 +612,19 @@ class _IncrementalEngine:
         self._ctx_counter = itertools.count()
         self.problems_registered = 0
         self.groups_shared = 0  # group lookups served by an existing group
+        # semantic memory across registrations of the *same problem*
+        # (identified by its frozenset of canonical clause keys):
+        # refutation cores and hopeless verdicts are facts about the
+        # problem, not the encoding, so a re-registered problem — a
+        # recycled engine, a warm-restored worker — inherits its sweep
+        # bounds instead of re-deriving them.  FIFO-bounded; survives
+        # ``reset`` for the same reason ``refuted_cores`` does.
+        self._problem_facts: dict[
+            frozenset,
+            tuple[
+                list[tuple[dict[Sort, int], dict[Sort, int]]], bool
+            ],
+        ] = {}
         self._constants: dict[Sort, list[FuncSymbol]] = {
             s: [
                 f
@@ -617,6 +675,20 @@ class _IncrementalEngine:
         ctx.cur = {s: 0 for s in self.sorts}
         ctx.groups = None
 
+    #: how many distinct problems' cores/hopeless verdicts the engine
+    #: remembers across release/re-register cycles (FIFO eviction)
+    PROBLEM_FACTS_MAX = 256
+
+    @staticmethod
+    def _facts_key(flat_clauses: Sequence[FlatClause]) -> frozenset:
+        """Renaming-invariant identity of a problem: its clause keys.
+
+        A frozenset rather than a sorted tuple because clause keys are
+        hashable but not mutually orderable (a ``None`` head does not
+        compare with a tuple one).
+        """
+        return frozenset(clause_key(flat) for flat in flat_clauses)
+
     def register(
         self, flat_clauses: Sequence[FlatClause]
     ) -> _ProblemContext:
@@ -625,6 +697,16 @@ class _IncrementalEngine:
             flat_clauses, next(self._ctx_counter), self.total_added
         )
         self._reset_context(ctx)
+        facts = self._problem_facts.get(self._facts_key(flat_clauses))
+        if facts is not None:
+            # this exact problem (up to variable renaming) was hosted
+            # before: its refutation bounds are semantic facts and
+            # transfer wholesale — the sweep resumes where it left off
+            cores, hopeless = facts
+            ctx.refuted_cores = [
+                (dict(lower), dict(upper)) for lower, upper in cores
+            ]
+            ctx.hopeless = hopeless
         self._contexts.append(ctx)
         self.problems_registered += 1
         return ctx
@@ -666,6 +748,20 @@ class _IncrementalEngine:
         if ctx.released:
             return
         ctx.released = True
+        if ctx.refuted_cores or ctx.hopeless:
+            key = self._facts_key(ctx.flat_clauses)
+            self._problem_facts.pop(key, None)
+            self._problem_facts[key] = (
+                [
+                    (dict(lower), dict(upper))
+                    for lower, upper in ctx.refuted_cores
+                ],
+                ctx.hopeless,
+            )
+            while len(self._problem_facts) > self.PROBLEM_FACTS_MAX:
+                self._problem_facts.pop(
+                    next(iter(self._problem_facts))
+                )
         if ctx in self._contexts:
             self._contexts.remove(ctx)
         if ctx.groups is not None:
@@ -713,6 +809,210 @@ class _IncrementalEngine:
     @property
     def total_glue(self) -> int:
         return self._folded_glue + self.solver.stats.glue_learned
+
+    # -- snapshot / restore ------------------------------------------------
+    def snapshot(self) -> dict:
+        """Serializable state of the whole engine (picklable dict).
+
+        Captures the solver (via the backend's own ``snapshot``), the
+        selector table, the signature-level growth envelopes, every live
+        clause group with its blocks, and the problem-facts memo.
+        Problem *contexts* are deliberately absent: a restored engine
+        starts with no registered problems, and re-registering one
+        recovers its bounds through the memo.  ``atom_layouts`` is also
+        dropped — it is keyed by object identity (``id(atom)``), which
+        does not survive pickling, and :meth:`_block_layout` rebuilds it
+        lazily on first use.
+
+        The snapshot references the engine's own ``FlatClause``/``Var``
+        structures; those are value objects the engine never mutates, so
+        the dict stays valid even if the donor engine keeps solving
+        (every mutable container is copied here).
+        """
+        if not self.solver.supports_snapshot():
+            raise EngineSnapshotError(
+                "SAT backend does not support snapshots"
+            )
+        groups = []
+        for group in self._groups.values():
+            groups.append(
+                {
+                    "flat": group.flat,
+                    "serial": group.serial,
+                    "sel": group.sel,
+                    "cur": dict(group.cur),
+                    "done": group.done,
+                    "last_touch": group.last_touch,
+                    "blocks": [
+                        {
+                            "atom": b.atom,
+                            "outer": dict(b.outer),
+                            "t": b.t,
+                            "t_insts": dict(b.t_insts),
+                            "done_u": b.done_u,
+                            "done_l": b.done_l,
+                        }
+                        for b in group.blocks
+                    ],
+                }
+            )
+        return {
+            "schema": "engine",
+            "version": ENGINE_SNAPSHOT_VERSION,
+            "fingerprint": engine_fingerprint(
+                self.sorts, self.functions, self.predicates
+            ),
+            "sat_backend": self.sat_backend,
+            "symmetry_breaking": self.symmetry_breaking,
+            "lbd_retention": self.lbd_retention,
+            "gc_window": self.gc_window,
+            "sorts": list(self.sorts),
+            "functions": list(self.functions),
+            "predicates": list(self.predicates),
+            "solver": self.solver.snapshot(),
+            "selectors": self.selectors.export_state(),
+            "cur": dict(self.cur),
+            "func_vars": {
+                f: dict(table) for f, table in self.func_vars.items()
+            },
+            "pred_vars": {
+                p: dict(table) for p, table in self.pred_vars.items()
+            },
+            "ex_rows": {
+                s: list(row) for s, row in self._ex_rows.items()
+            },
+            "func_done": dict(self._func_done),
+            "sb_done": dict(self._sb_done),
+            "groups": groups,
+            # ``itertools.count`` does not pickle; serial reuse of
+            # *retired* groups is safe (retire pops the selector key),
+            # so resuming past the live maximum is all that is needed
+            "next_serial": max(
+                (g.serial for g in self._groups.values()), default=-1
+            )
+            + 1,
+            "problems_registered": self.problems_registered,
+            "groups_shared": self.groups_shared,
+            "folded": [
+                self._folded_added,
+                self._folded_learned,
+                self._folded_glue,
+            ],
+            "ok": self._ok,
+            "problem_facts": [
+                [
+                    key,
+                    [
+                        (dict(lower), dict(upper))
+                        for lower, upper in cores
+                    ],
+                    hopeless,
+                ]
+                for key, (cores, hopeless) in self._problem_facts.items()
+            ],
+        }
+
+    @classmethod
+    def restore(cls, snap: dict) -> "_IncrementalEngine":
+        """Rebuild an engine from a :meth:`snapshot` dict.
+
+        The engine is constructed from the snapshot's own signature
+        lists (sorted at snapshot time), so the
+        :class:`ModelFinder`/:class:`~repro.mace.pool.EnginePool`
+        compatibility checks hold by construction for any system whose
+        fingerprint matches.  Raises :class:`EngineSnapshotError` on a
+        wrong schema/version or an internally inconsistent snapshot.
+        """
+        if not isinstance(snap, dict) or snap.get("schema") != "engine":
+            raise EngineSnapshotError("not an engine snapshot")
+        if snap.get("version") != ENGINE_SNAPSHOT_VERSION:
+            raise EngineSnapshotError(
+                f"engine snapshot version {snap.get('version')!r} "
+                f"(this build reads {ENGINE_SNAPSHOT_VERSION})"
+            )
+        engine = cls(
+            snap["sorts"],
+            snap["functions"],
+            snap["predicates"],
+            symmetry_breaking=bool(snap["symmetry_breaking"]),
+            gc_window=int(snap["gc_window"]),
+            lbd_retention=bool(snap["lbd_retention"]),
+            sat_backend=str(snap["sat_backend"]),
+        )
+        engine._restore_from(snap)
+        return engine
+
+    def _restore_from(self, snap: dict) -> None:
+        own = engine_fingerprint(
+            self.sorts, self.functions, self.predicates
+        )
+        if snap.get("fingerprint") != own:
+            raise EngineSnapshotError(
+                "snapshot fingerprint disagrees with its signature lists"
+            )
+        if snap["solver"].get("backend") != self.sat_backend:
+            raise EngineSnapshotError(
+                "snapshot's solver backend disagrees with the engine's"
+            )
+        solver = restore_backend(snap["solver"])
+        self.solver = solver
+        self.selectors = SelectorPool(solver)
+        self.selectors.import_state(snap["selectors"])
+        # symbol-keyed tables: the snapshot's keys are value-equal to
+        # this engine's own (frozen dataclasses hash by value), so the
+        # adopted dicts serve lookups from self.functions/predicates
+        self.cur = {s: int(snap["cur"].get(s, 0)) for s in self.sorts}
+        self.func_vars = {
+            f: dict(snap["func_vars"].get(f, {})) for f in self.functions
+        }
+        self.pred_vars = {
+            p: dict(snap["pred_vars"].get(p, {}))
+            for p in self.predicates
+        }
+        self._ex_rows = {
+            s: list(snap["ex_rows"].get(s, ())) for s in self.sorts
+        }
+        self._func_done = dict(snap["func_done"])
+        self._sb_done = {
+            s: int(snap["sb_done"].get(s, 0)) for s in self.sorts
+        }
+        self._groups = {}
+        for g in snap["groups"]:
+            group = _ClauseGroup(g["flat"], int(g["serial"]))
+            group.sel = g["sel"]
+            group.cur = dict(g["cur"])
+            group.done = g["done"]
+            group.last_touch = int(g["last_touch"])
+            for b in g["blocks"]:
+                block = _BlockState(
+                    b["atom"],
+                    dict(b["outer"]),
+                    b["t"],
+                    dict(b["t_insts"]),
+                    b["done_u"],
+                    b["done_l"],
+                )
+                group.blocks.append(block)
+            self._groups[clause_key(group.flat)] = group
+        self._group_serial = itertools.count(int(snap["next_serial"]))
+        self.problems_registered = int(snap["problems_registered"])
+        self.groups_shared = int(snap["groups_shared"])
+        (
+            self._folded_added,
+            self._folded_learned,
+            self._folded_glue,
+        ) = (int(x) for x in snap["folded"])
+        self._ok = bool(snap["ok"])
+        self._problem_facts = {
+            key: (
+                [
+                    (dict(lower), dict(upper))
+                    for lower, upper in cores
+                ],
+                bool(hopeless),
+            )
+            for key, cores, hopeless in snap["problem_facts"]
+        }
 
     # -- small helpers -----------------------------------------------------
     def _add(self, literals: list[int]) -> None:

@@ -27,17 +27,50 @@ Reset conditions (bounding a long campaign's memory):
   their clause groups lose a reference, and groups nothing references
   for ``gc_window`` further registrations are retired (selector pinned
   false, clauses dropped by a level-0 simplify).
+
+Warm persistence (the snapshot layer)
+-------------------------------------
+
+Engines are serializable (:meth:`_IncrementalEngine.snapshot`), and the
+pool exploits that in two ways:
+
+* ``cache_dir`` turns on a **disk-backed warm cache**: recycled and
+  evicted engines are persisted (pickled, written atomically) keyed by
+  their fingerprint, a :meth:`_slot_for` miss tries the cache before
+  building cold, and :meth:`flush_cache` persists every live engine —
+  so a second campaign over the same benchmark family starts from the
+  first one's encodings, learned clauses and refutation bounds;
+* :meth:`adopt_snapshot` installs an in-memory snapshot as a live slot
+  (supervised workers warm-start from the snapshot a predecessor
+  returned) and :meth:`last_snapshot` serializes the most recently used
+  engine for handing back.
+
+Every load/adopt path validates the wrapper schema, snapshot version,
+fingerprint and pool configuration; *any* failure — corrupt file, stale
+version, foreign fingerprint, missing optional backend — counts as
+``snapshot_rejected`` and falls back to a cold engine, never an error.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Optional
+from pathlib import Path
+from typing import Optional, Union
 
 from repro.chc.clauses import CHCSystem
-from repro.mace.finder import ModelFinder, _IncrementalEngine
+from repro.mace.finder import (
+    ENGINE_SNAPSHOT_VERSION,
+    EngineSnapshotError,
+    ModelFinder,
+    _IncrementalEngine,
+    engine_fingerprint,
+)
 
 
 def signature_fingerprint(system: CHCSystem) -> tuple:
@@ -50,37 +83,38 @@ def signature_fingerprint(system: CHCSystem) -> tuple:
     symmetry cuts) is built from, so their finite-model searches can
     share one incremental engine.  Clause sets may differ arbitrarily;
     those stay per-problem behind activation selectors.
+
+    Delegates to :func:`repro.mace.finder.engine_fingerprint`, so the
+    fingerprint inside an engine snapshot is byte-for-byte the one the
+    pool keys that engine under.
     """
-    signature = system.adts.signature
-    return (
-        tuple(sorted(s.name for s in system.adts.sorts)),
-        tuple(
-            sorted(
-                (
-                    f.name,
-                    tuple(s.name for s in f.arg_sorts),
-                    f.result_sort.name,
-                )
-                for f in signature.functions.values()
-            )
-        ),
-        tuple(
-            sorted(
-                (p.name, tuple(s.name for s in p.arg_sorts))
-                for p in system.predicates.values()
-            )
-        ),
+    return engine_fingerprint(
+        system.adts.sorts,
+        system.adts.signature.functions.values(),
+        system.predicates.values(),
     )
 
 
 @dataclass
 class PoolStats:
-    """Cross-problem reuse counters of one campaign pool.
+    """All counters of one campaign pool, serialized uniformly.
 
-    ``engine_hits`` counts problems that joined an engine another
-    problem had already warmed up — the reuse events the pool exists to
-    create — and ``cross_problem_clauses`` sums the clauses those
-    problems found already encoded on arrival.
+    The reuse block: ``engine_hits`` counts problems that joined an
+    engine another problem had already warmed up — the reuse events the
+    pool exists to create — and ``cross_problem_clauses`` sums the
+    clauses those problems found already encoded on arrival.  The
+    lifecycle block (``engine_recycles`` / ``engines_evicted`` /
+    ``released``) tracks the memory bounds.  The snapshot block:
+    ``snapshot_saves`` engines persisted to the warm cache,
+    ``snapshot_hits`` engines started warm (from disk or an adopted
+    in-memory snapshot), ``snapshot_misses`` cache lookups that found
+    no usable file, ``snapshot_rejected`` snapshots refused for any
+    reason (corrupt, wrong version, foreign fingerprint or
+    configuration) — rejections always fall back cold.
+
+    ``engines_live`` is a gauge, refreshed by :meth:`EnginePool.as_dict`;
+    everything else is a monotone counter.  :meth:`as_dict` is the one
+    serialization used by reports and JSON artifacts.
     """
 
     problems: int = 0
@@ -90,6 +124,11 @@ class PoolStats:
     engine_recycles: int = 0
     engines_evicted: int = 0
     released: int = 0
+    snapshot_saves: int = 0
+    snapshot_hits: int = 0
+    snapshot_misses: int = 0
+    snapshot_rejected: int = 0
+    engines_live: int = 0
 
     def as_dict(self) -> dict:
         return dataclasses.asdict(self)
@@ -105,6 +144,10 @@ class _PooledEngine:
         self.problems_hosted = 0
 
 
+#: wrapper schema written around engine snapshots in cache files
+_CACHE_SCHEMA = "engine-cache"
+
+
 class EnginePool:
     """Persistent :class:`ModelFinder` engines keyed by signature.
 
@@ -113,6 +156,8 @@ class EnginePool:
     with incompatible signatures get (and warm up) separate engines.
     The pool is a process-lifetime object: one per campaign, threaded
     through :class:`repro.core.ringen.RInGenConfig` and the harness.
+    With ``cache_dir`` set, engine state additionally persists *across*
+    processes and campaigns (see the module docstring).
     """
 
     def __init__(
@@ -123,6 +168,7 @@ class EnginePool:
         max_problems_per_engine: Optional[int] = 64,
         lbd_retention: bool = True,
         sat_backend: str = "python",
+        cache_dir: Optional[Union[str, Path]] = None,
     ):
         self.symmetry_breaking = symmetry_breaking
         self.max_engines = max_engines
@@ -135,6 +181,7 @@ class EnginePool:
         # engine key so a mixed-backend campaign never hands a finder
         # an engine built over the wrong solver
         self.sat_backend = sat_backend
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.stats = PoolStats()
         self._engines: "OrderedDict[tuple, _PooledEngine]" = OrderedDict()
 
@@ -144,8 +191,159 @@ class EnginePool:
     def fingerprint(self, system: CHCSystem) -> tuple:
         return signature_fingerprint(system)
 
+    # -- disk warm cache ---------------------------------------------------
+    def _cache_path(self, key: tuple) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        digest = hashlib.sha256(repr(key).encode()).hexdigest()[:32]
+        return self.cache_dir / f"{digest}.engine"
+
+    def _persist(self, key: tuple, engine: _IncrementalEngine) -> bool:
+        """Write ``engine`` to the warm cache (atomic; best-effort)."""
+        path = self._cache_path(key)
+        if path is None:
+            return False
+        try:
+            payload = pickle.dumps(
+                {
+                    "schema": _CACHE_SCHEMA,
+                    "version": ENGINE_SNAPSHOT_VERSION,
+                    "key": key,
+                    "engine": engine.snapshot(),
+                },
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=str(path.parent), prefix=path.name, suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(payload)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            # a half-written or unwritable cache must never fail the
+            # campaign; the next run simply starts cold
+            return False
+        self.stats.snapshot_saves += 1
+        return True
+
+    def _load(self, key: tuple) -> Optional[_IncrementalEngine]:
+        """Try to restore ``key``'s engine from the warm cache."""
+        path = self._cache_path(key)
+        if path is None:
+            return None
+        try:
+            data = path.read_bytes()
+        except OSError:
+            self.stats.snapshot_misses += 1
+            return None
+        try:
+            wrapper = pickle.loads(data)
+            if (
+                not isinstance(wrapper, dict)
+                or wrapper.get("schema") != _CACHE_SCHEMA
+                or wrapper.get("version") != ENGINE_SNAPSHOT_VERSION
+            ):
+                raise EngineSnapshotError("bad cache wrapper")
+            if wrapper.get("key") != key:
+                raise EngineSnapshotError(
+                    "cache file fingerprint disagrees with its name"
+                )
+            engine = self._restore_engine(wrapper["engine"])
+        except Exception:
+            # corrupt, stale-version, foreign or unusable (e.g. a pysat
+            # snapshot without python-sat installed): fall back cold
+            self.stats.snapshot_rejected += 1
+            return None
+        self.stats.snapshot_hits += 1
+        return engine
+
+    def _restore_engine(self, snap: dict) -> _IncrementalEngine:
+        """Restore + validate a snapshot against this pool's config."""
+        if not isinstance(snap, dict):
+            raise EngineSnapshotError("not an engine snapshot")
+        if snap.get("sat_backend") != self.sat_backend:
+            raise EngineSnapshotError(
+                "snapshot backend disagrees with the pool's"
+            )
+        if bool(snap.get("lbd_retention")) != self.lbd_retention or bool(
+            snap.get("symmetry_breaking")
+        ) != self.symmetry_breaking:
+            raise EngineSnapshotError(
+                "snapshot solver policy disagrees with the pool's"
+            )
+        return _IncrementalEngine.restore(snap)
+
+    def flush_cache(self) -> int:
+        """Persist every live engine to the warm cache; returns count."""
+        if self.cache_dir is None:
+            return 0
+        written = 0
+        for key, slot in self._engines.items():
+            if self._persist(key, slot.engine):
+                written += 1
+        return written
+
+    def adopt_snapshot(self, snap: dict) -> bool:
+        """Install an in-memory engine snapshot as a live pool slot.
+
+        The warm-start path of supervised workers: the supervisor ships
+        the latest snapshot for a task batch's fingerprint in the task
+        payload, and the worker's pool adopts it before solving, so a
+        rescheduled batch resumes from its predecessor's state instead
+        of cold.  Validates like the disk cache (any failure counts as
+        ``snapshot_rejected`` and returns False — callers proceed cold).
+        """
+        try:
+            engine = self._restore_engine(snap)
+            key = (self.sat_backend, snap["fingerprint"])
+        except Exception:
+            self.stats.snapshot_rejected += 1
+            return False
+        slot = _PooledEngine(engine)
+        self._engines[key] = slot
+        self._engines.move_to_end(key)
+        self._evict_over_limit()
+        self.stats.snapshot_hits += 1
+        return True
+
+    def last_snapshot(self) -> Optional[dict]:
+        """Snapshot of the most recently used engine, or ``None``.
+
+        The inverse of :meth:`adopt_snapshot`: a supervised worker calls
+        this after its batch so the supervisor can reschedule survivors
+        warm.  Serialization failure degrades to ``None`` (cold), never
+        an error.
+        """
+        if not self._engines:
+            return None
+        slot = next(reversed(self._engines.values()))
+        try:
+            return slot.engine.snapshot()
+        except Exception:
+            self.stats.snapshot_rejected += 1
+            return None
+
+    # -- engine lookup -----------------------------------------------------
+    def _evict_over_limit(self) -> None:
+        while (
+            self.max_engines is not None
+            and len(self._engines) > self.max_engines
+        ):
+            key, slot = self._engines.popitem(last=False)
+            self._persist(key, slot.engine)
+            self.stats.engines_evicted += 1
+
     def _slot_for(self, system: CHCSystem) -> _PooledEngine:
         key = (self.sat_backend, signature_fingerprint(system))
+        from_cache_ok = True
         slot = self._engines.get(key)
         if slot is not None and (
             self.max_problems_per_engine is not None
@@ -153,10 +351,20 @@ class EnginePool:
         ):
             # recycle: bound the clause database a very long campaign
             # accumulates; finders still holding the old engine keep
-            # working standalone
+            # working standalone.  The retiring engine goes to the warm
+            # cache for *future processes*, but this process must build
+            # the replacement cold — reloading the snapshot we just
+            # wrote would undo the recycle's memory bound
+            self._persist(key, slot.engine)
             del self._engines[key]
             slot = None
             self.stats.engine_recycles += 1
+            from_cache_ok = False
+        if slot is None and from_cache_ok:
+            cached = self._load(key)
+            if cached is not None:
+                slot = _PooledEngine(cached)
+                self._engines[key] = slot
         if slot is None:
             slot = _PooledEngine(
                 _IncrementalEngine(
@@ -176,12 +384,7 @@ class EnginePool:
             self._engines[key] = slot
             self.stats.engines_created += 1
         self._engines.move_to_end(key)
-        if (
-            self.max_engines is not None
-            and len(self._engines) > self.max_engines
-        ):
-            self._engines.popitem(last=False)
-            self.stats.engines_evicted += 1
+        self._evict_over_limit()
         return slot
 
     def engine_for(self, system: CHCSystem) -> _IncrementalEngine:
@@ -240,6 +443,5 @@ class EnginePool:
 
     def as_dict(self) -> dict:
         """Plain-dict stats view for reports / JSON artifacts."""
-        info = self.stats.as_dict()
-        info["engines_live"] = len(self._engines)
-        return info
+        self.stats.engines_live = len(self._engines)
+        return self.stats.as_dict()

@@ -15,6 +15,7 @@ from repro.sat.backend import (
     available_backends,
     backend_available,
     make_backend,
+    restore_backend,
 )
 from repro.sat.cnf import (
     at_most_one,
@@ -24,6 +25,7 @@ from repro.sat.cnf import (
     to_dimacs,
 )
 from repro.sat.solver import (
+    SNAPSHOT_VERSION,
     CDCLSolver,
     SatError,
     SatStats,
@@ -46,6 +48,8 @@ __all__ = [
     "from_dimacs",
     "implies",
     "make_backend",
+    "restore_backend",
+    "SNAPSHOT_VERSION",
     "solve_cnf",
     "to_dimacs",
 ]

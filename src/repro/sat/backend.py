@@ -122,6 +122,16 @@ class SatBackend(Protocol):
     def learned_count(self) -> int:
         ...
 
+    # snapshot capability (optional in spirit: every backend answers
+    # supports_snapshot(), and snapshot() may be degraded — the PySAT
+    # adapter round-trips only its clause database, dropping the C
+    # solver's warm metadata; see restore_backend for the inverse)
+    def supports_snapshot(self) -> bool:
+        ...
+
+    def snapshot(self) -> dict:
+        ...
+
 
 #: the backends :func:`make_backend` resolves, in presentation order;
 #: ``"python"`` is the always-available fallback
@@ -167,4 +177,32 @@ def make_backend(
         return PySATBackend(lbd_retention=lbd_retention)
     raise ValueError(
         f"unknown SAT backend {name!r} (known: {', '.join(BACKEND_NAMES)})"
+    )
+
+
+def restore_backend(snap: dict) -> SatBackend:
+    """Rebuild a backend from a ``snapshot()`` dict, by ``backend`` name.
+
+    The inverse of the protocol's snapshot capability: dispatches on the
+    snapshot's own ``backend`` field (each backend validates its
+    ``schema``/``version`` header itself).  Restoring a ``"pysat"``
+    snapshot without `python-sat` installed raises
+    :class:`BackendUnavailableError`; an unknown backend name raises
+    :class:`ValueError` — callers holding possibly-foreign snapshots
+    (the disk warm cache) treat any exception as "fall back cold".
+    """
+    if not isinstance(snap, dict):
+        raise ValueError("not a solver snapshot")
+    name = snap.get("backend")
+    if name == "python":
+        from repro.sat.solver import CDCLSolver
+
+        return CDCLSolver.restore(snap)
+    if name == "pysat":
+        from repro.sat.pysat_backend import PySATBackend
+
+        return PySATBackend.restore(snap)
+    raise ValueError(
+        f"unknown SAT backend {name!r} in snapshot "
+        f"(known: {', '.join(BACKEND_NAMES)})"
     )

@@ -47,7 +47,7 @@ import time
 from typing import Iterable, Optional, Sequence
 
 from repro.sat.backend import BackendUnavailableError
-from repro.sat.solver import SatError, SatStats
+from repro.sat.solver import SNAPSHOT_VERSION, SatError, SatStats
 
 #: PySAT solver name the adapter instantiates.  Glucose 3 is the
 #: default for its incremental-assumptions maturity; any PySAT name
@@ -106,6 +106,11 @@ class PySATBackend:
         # assumption over a clause-free variable is materialized with a
         # tautology first so the C solver's variable table covers it
         self._materialized: set[int] = set()
+        # every accepted non-tautology clause, in insertion order —
+        # the C solver's database cannot be read back, so snapshots
+        # replay this record (degraded restore: Glucose's learned
+        # clauses and heuristic state are dropped)
+        self._clauses: list[list[int]] = []
         if num_vars:
             self.new_vars(num_vars)
 
@@ -156,6 +161,7 @@ class PySATBackend:
             # the library detected a root-level conflict on insertion
             self._ok = False
             return False
+        self._clauses.append(clause)
         return True
 
     def _materialize_assumptions(self, assumptions: Sequence[int]) -> None:
@@ -362,6 +368,70 @@ class PySATBackend:
     def learned_count(self) -> int:
         """Not exposed by the library; 0 keeps reports honest-by-default."""
         return 0
+
+    # -- snapshot / restore ---------------------------------------------
+    def supports_snapshot(self) -> bool:
+        """Snapshots work, but restore is *degraded*: only the clause
+        database survives — Glucose's learned clauses, activities and
+        phases live inside the C solver and cannot be read back."""
+        return True
+
+    def snapshot(self) -> dict:
+        """Degraded snapshot: the recorded clause database plus stats.
+
+        Shares the ``schema``/``version`` header with the pure-Python
+        solver so :func:`repro.sat.backend.restore_backend` validates
+        both uniformly; the ``backend`` field says which restore path
+        applies.
+        """
+        from dataclasses import asdict
+
+        return {
+            "schema": "cdcl",
+            "version": SNAPSHOT_VERSION,
+            "backend": "pysat",
+            "num_vars": self.num_vars,
+            "ok": self._ok,
+            "lbd_retention": self.lbd_retention,
+            "solver_name": self.solver_name,
+            "clauses": [list(c) for c in self._clauses],
+            "stats": asdict(self.stats),
+        }
+
+    @classmethod
+    def restore(cls, snap: dict) -> "PySATBackend":
+        """Rebuild by replaying the recorded clauses into a fresh C
+        solver; warm metadata (learned clauses, heuristics) is dropped.
+        The stats block is restored wholesale so ``clauses_added``
+        accounting survives the (degraded) round trip."""
+        if not isinstance(snap, dict) or snap.get("schema") != "cdcl":
+            raise SatError("not a CDCL solver snapshot")
+        if snap.get("version") != SNAPSHOT_VERSION:
+            raise SatError(
+                f"unsupported solver snapshot version "
+                f"{snap.get('version')!r} (expected {SNAPSHOT_VERSION})"
+            )
+        backend = cls(
+            lbd_retention=bool(snap["lbd_retention"]),
+            solver_name=snap.get(
+                "solver_name", DEFAULT_PYSAT_SOLVER
+            ),
+        )
+        backend.new_vars(int(snap["num_vars"]))
+        ok = bool(snap["ok"])
+        for lits in snap["clauses"]:
+            clause = [int(l) for l in lits]
+            backend._materialized.update(abs(l) for l in clause)
+            accepted = backend._solver.add_clause(
+                clause, no_return=False
+            )
+            if accepted is False:
+                ok = False
+                break
+            backend._clauses.append(clause)
+        backend._ok = ok
+        backend.stats = SatStats(**snap["stats"])
+        return backend
 
     def delete(self) -> None:
         """Release the C solver object (PySAT requires explicit delete)."""

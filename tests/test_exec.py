@@ -437,3 +437,113 @@ class TestResumeAndInterrupt:
         for record in campaign.records:
             task_id = task_id_for(record.problem, record.solver)
             assert entries[task_id]["status"] == record.status.value
+
+
+class TestWarmWorkers:
+    """Engine snapshots across worker boundaries (share_engines)."""
+
+    def test_warm_reschedule_after_worker_death(self):
+        # flaky@ kills the whole worker process mid-batch; with engine
+        # sharing the supervisor must reschedule the batch remainder on
+        # a worker warm-started from the last snapshot it received.
+        # Index 5 is the *second* task of its signature batch, so the
+        # first task's verdict already carried a snapshot for the group
+        plan = ReproFaultPlan.parse("flaky@5x1")
+        faulted = run_campaign(
+            [fault10_suite()], solvers=["ringen"], timeout=5.0,
+            share_engines=True,
+            policy=ExecPolicy(
+                isolate=True, fault_plan=plan, backoff_base=0.01
+            ),
+        )
+        clean = run_campaign(
+            [fault10_suite()], solvers=["ringen"], timeout=5.0,
+            share_engines=True,
+            policy=ExecPolicy(isolate=True),
+        )
+        assert verdicts(faulted) == verdicts(clean)
+        assert faulted.exec_stats["snapshots_collected"] > 0
+        assert faulted.exec_stats["workers_warm_started"] >= 1
+        assert clean.exec_stats["workers_warm_started"] == 0
+
+    def test_snapshots_stay_out_of_the_journal(self, tmp_path):
+        journal = str(tmp_path / "warm.jsonl")
+        run_campaign(
+            [fault10_suite()], solvers=["ringen"], timeout=5.0,
+            share_engines=True, journal_path=journal,
+            policy=ExecPolicy(isolate=True),
+        )
+        meta, entries = load_journal(journal)
+        assert entries
+        for entry in entries.values():
+            assert "engine_snapshot" not in entry
+
+
+class TestJournalConfigGuard:
+    """Resume must refuse journals from an incompatible configuration."""
+
+    def test_meta_records_backend_and_fingerprint(self, tmp_path):
+        journal = str(tmp_path / "meta.jsonl")
+        run_campaign(
+            [tiny_suite()], solvers=["ringen"], timeout=5.0,
+            journal_path=journal, policy=ExecPolicy(),
+        )
+        meta, _ = load_journal(journal)
+        assert meta["sat_backend"] == "python"
+        assert meta["config_fingerprint"]
+
+    def test_mismatched_config_refused(self, tmp_path):
+        journal = str(tmp_path / "guard.jsonl")
+        run_campaign(
+            [tiny_suite()], solvers=["ringen"], timeout=5.0,
+            journal_path=journal,
+            policy=ExecPolicy(
+                solver_opts={"core_guided_sweep": True}
+            ),
+        )
+        with pytest.raises(JournalError, match="configuration"):
+            run_campaign(
+                [tiny_suite()], solvers=["ringen"], timeout=5.0,
+                journal_path=journal, resume=True,
+                policy=ExecPolicy(
+                    solver_opts={"core_guided_sweep": False}
+                ),
+            )
+
+    def test_cache_dir_never_affects_the_fingerprint(self, tmp_path):
+        journal = str(tmp_path / "cache.jsonl")
+        run_campaign(
+            [tiny_suite()], solvers=["ringen"], timeout=5.0,
+            journal_path=journal, policy=ExecPolicy(),
+        )
+        # same configuration, different warm cache: resume is fine
+        resumed = run_campaign(
+            [tiny_suite()], solvers=["ringen"], timeout=5.0,
+            journal_path=journal, resume=True,
+            engine_cache_dir=str(tmp_path / "engines"),
+            policy=ExecPolicy(),
+        )
+        assert resumed.exec_stats["tasks_resumed"] == 3
+
+    def test_legacy_journal_without_fields_resumes(self, tmp_path):
+        import json
+
+        journal = tmp_path / "legacy.jsonl"
+        first = run_campaign(
+            [tiny_suite()], solvers=["ringen"], timeout=5.0,
+            journal_path=str(journal), policy=ExecPolicy(),
+        )
+        # strip the new meta fields, as a journal from an older build
+        lines = journal.read_text().splitlines()
+        meta = json.loads(lines[0])
+        meta.pop("sat_backend", None)
+        meta.pop("config_fingerprint", None)
+        journal.write_text(
+            "\n".join([json.dumps(meta)] + lines[1:]) + "\n"
+        )
+        resumed = run_campaign(
+            [tiny_suite()], solvers=["ringen"], timeout=5.0,
+            journal_path=str(journal), resume=True, policy=ExecPolicy(),
+        )
+        assert resumed.exec_stats["tasks_resumed"] == 3
+        assert verdicts(resumed) == verdicts(first)

@@ -271,3 +271,141 @@ class TestHarnessCampaign:
             other = fresh.record(record.problem.name, record.solver)
             assert other is not None
             assert record.status is other.status, record.problem.name
+
+
+class TestEngineSnapshot:
+    """Engine serialization and the disk warm cache."""
+
+    def _warm_pool(self, cache_dir=None):
+        pool = EnginePool(cache_dir=cache_dir)
+        for m, r, c in ((2, 0, 1), (3, 0, 1)):
+            finder = pool.finder(preprocess(nat_mod_system(m, r, c)))
+            assert finder.search().found
+            pool.release(finder)
+        return pool
+
+    def test_engine_round_trip_preserves_verdicts(self):
+        from repro.mace.finder import _IncrementalEngine
+
+        pool = self._warm_pool()
+        engine = next(iter(pool._engines.values())).engine
+        snap = engine.snapshot()
+        restored = _IncrementalEngine.restore(snap)
+        prepared = preprocess(nat_mod_system(4, 1, 2))
+        cold = find_model(prepared)
+        warm = ModelFinder(prepared, engine=restored).search()
+        assert cold.found == warm.found
+        assert warm.model.satisfies(prepared)
+
+    def test_snapshot_rejects_foreign_schema(self):
+        from repro.mace import EngineSnapshotError
+        from repro.mace.finder import _IncrementalEngine
+
+        with pytest.raises(EngineSnapshotError):
+            _IncrementalEngine.restore({"schema": "cdcl", "version": 1})
+
+    def test_snapshot_rejects_wrong_version(self):
+        from repro.mace import ENGINE_SNAPSHOT_VERSION, EngineSnapshotError
+        from repro.mace.finder import _IncrementalEngine
+
+        pool = self._warm_pool()
+        snap = next(iter(pool._engines.values())).engine.snapshot()
+        snap["version"] = ENGINE_SNAPSHOT_VERSION + 1
+        with pytest.raises(EngineSnapshotError):
+            _IncrementalEngine.restore(snap)
+
+    def test_disk_cache_round_trip(self, tmp_path):
+        cache = tmp_path / "engines"
+        first = self._warm_pool(cache_dir=cache)
+        assert first.flush_cache() == 1
+        assert first.stats.snapshot_saves >= 1
+        assert list(cache.iterdir())  # something was persisted
+
+        second = self._warm_pool(cache_dir=cache)
+        assert second.stats.snapshot_hits == 1
+        assert second.stats.engines_created == 0
+        stats = second.as_dict()
+        for key in (
+            "snapshot_saves",
+            "snapshot_hits",
+            "snapshot_misses",
+            "snapshot_rejected",
+            "engines_live",
+        ):
+            assert key in stats
+
+    def test_disk_cache_verdict_parity(self, tmp_path):
+        cache = tmp_path / "engines"
+        self._warm_pool(cache_dir=cache).flush_cache()
+        warm_pool = EnginePool(cache_dir=cache)
+        for m, r, c in ((2, 0, 1), (4, 1, 2), (5, 2, 3)):
+            prepared = preprocess(nat_mod_system(m, r, c))
+            cold = find_model(prepared)
+            finder = warm_pool.finder(prepared)
+            warm = finder.search()
+            assert cold.found == warm.found, (m, r, c)
+            assert warm.model.satisfies(prepared)
+            warm_pool.release(finder)
+        assert warm_pool.stats.snapshot_hits == 1
+
+    def test_corrupted_cache_falls_back_cold(self, tmp_path):
+        cache = tmp_path / "engines"
+        self._warm_pool(cache_dir=cache).flush_cache()
+        for entry in cache.iterdir():
+            entry.write_bytes(b"not a pickle")
+        pool = self._warm_pool(cache_dir=cache)
+        assert pool.stats.snapshot_rejected >= 1
+        assert pool.stats.snapshot_hits == 0
+        assert pool.stats.engines_created == 1  # cold start worked
+
+    def test_wrong_version_cache_falls_back_cold(self, tmp_path):
+        import pickle
+
+        cache = tmp_path / "engines"
+        self._warm_pool(cache_dir=cache).flush_cache()
+        for entry in cache.iterdir():
+            wrapper = pickle.loads(entry.read_bytes())
+            wrapper["version"] += 1
+            entry.write_bytes(pickle.dumps(wrapper))
+        pool = self._warm_pool(cache_dir=cache)
+        assert pool.stats.snapshot_rejected >= 1
+        assert pool.stats.engines_created == 1
+
+    def test_wrong_fingerprint_cache_falls_back_cold(self, tmp_path):
+        import os
+
+        cache = tmp_path / "engines"
+        self._warm_pool(cache_dir=cache).flush_cache()
+        # a cache entry for signature A renamed to signature B's slot:
+        # the key check inside the wrapper must reject it
+        other = EnginePool(cache_dir=cache)
+        prepared = preprocess(even_system())
+        other.engine_for(prepared)
+        other.flush_cache()
+        entries = sorted(cache.iterdir())
+        assert len(entries) == 2
+        data0 = entries[0].read_bytes()
+        data1 = entries[1].read_bytes()
+        entries[0].write_bytes(data1)
+        entries[1].write_bytes(data0)
+        pool = self._warm_pool(cache_dir=cache)
+        assert pool.stats.snapshot_rejected >= 1
+        assert pool.stats.engines_created == 1
+
+    def test_adopt_and_last_snapshot(self):
+        pool = self._warm_pool()
+        snap = pool.last_snapshot()
+        assert snap is not None and snap["schema"] == "engine"
+        receiver = EnginePool()
+        assert receiver.adopt_snapshot(snap)
+        assert receiver.stats.snapshot_hits == 1
+        finder = receiver.finder(preprocess(nat_mod_system(4, 1, 2)))
+        assert finder.search().found
+        assert receiver.stats.engines_created == 0
+
+    def test_adopt_rejects_incompatible_config(self):
+        pool = self._warm_pool()
+        snap = pool.last_snapshot()
+        receiver = EnginePool(lbd_retention=False)
+        assert not receiver.adopt_snapshot(snap)
+        assert receiver.stats.snapshot_rejected == 1

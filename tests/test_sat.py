@@ -15,6 +15,7 @@ from repro.sat.cnf import (
     to_dimacs,
 )
 from repro.sat.solver import (
+    SNAPSHOT_VERSION,
     CDCLSolver,
     SatError,
     brute_force_sat,
@@ -730,3 +731,120 @@ def test_core_guided_sweep_skips_on_multi_sort_problems():
         guided.stats.attempts + guided.stats.vectors_skipped
         == unguided.stats.attempts
     )
+
+
+# ----------------------------------------------------------------------
+# snapshot / restore: a restored solver must be semantically
+# indistinguishable from the original on any continuation
+# ----------------------------------------------------------------------
+@st.composite
+def random_incremental_history(draw):
+    """A CNF split into a prefix (solved before the snapshot) and a
+    suffix (added after), plus assumptions to probe both solvers with."""
+    clauses, num_vars = draw(random_cnf())
+    split = draw(st.integers(min_value=0, max_value=len(clauses)))
+    assumptions = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=num_vars).flatmap(
+                lambda v: st.sampled_from([v, -v])
+            ),
+            max_size=3,
+            unique_by=abs,
+        )
+    )
+    return clauses, num_vars, split, assumptions
+
+
+class TestSnapshotRestore:
+    @given(random_incremental_history())
+    @settings(max_examples=150, deadline=None)
+    def test_round_trip_preserves_semantics(self, case):
+        clauses, num_vars, split, assumptions = case
+        original = CDCLSolver(num_vars)
+        ok = True
+        for clause in clauses[:split]:
+            ok = original.add_clause(clause) and ok
+        if ok:
+            original.solve()  # accumulate learned clauses / phases
+        restored = CDCLSolver.restore(original.snapshot())
+
+        # identical continuations must produce identical verdicts
+        for solver in (original, restored):
+            solver_ok = solver._ok
+            for clause in clauses[split:]:
+                solver_ok = solver.add_clause(clause) and solver_ok
+        verdict_a = original.solve(assumptions) if original._ok else False
+        verdict_b = restored.solve(assumptions) if restored._ok else False
+        assert verdict_a == verdict_b
+        assert verdict_b == (
+            brute_force_sat(
+                clauses + [[l] for l in assumptions], num_vars
+            )
+            is not None
+        )
+        # level-0 facts agree in both directions (meaningless once the
+        # clause database is contradictory, so only compared while ok)
+        if original._ok and restored._ok:
+            for var in range(1, num_vars + 1):
+                assert original.fixed(var) == restored.fixed(var)
+
+    @given(random_cnf())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_preserves_accounting(self, case):
+        clauses, num_vars = case
+        original = CDCLSolver(num_vars)
+        ok = True
+        for clause in clauses:
+            ok = original.add_clause(clause) and ok
+        if ok:
+            original.solve()
+        restored = CDCLSolver.restore(original.snapshot())
+        assert restored.num_vars == original.num_vars
+        assert restored.stats.clauses_added == original.stats.clauses_added
+        assert restored.learned_count() == original.learned_count()
+        assert restored.clauses == original.clauses
+        assert restored.learned_clauses == original.learned_clauses
+
+    def test_wrong_version_rejected(self):
+        solver = CDCLSolver(2)
+        solver.add_clause([1, 2])
+        snap = solver.snapshot()
+        snap["version"] = SNAPSHOT_VERSION + 1
+        with pytest.raises(SatError, match="version"):
+            CDCLSolver.restore(snap)
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(SatError):
+            CDCLSolver.restore({"schema": "engine", "version": 1})
+
+    def test_restored_solver_remains_incremental(self):
+        solver = CDCLSolver(3)
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 3])
+        assert solver.solve()
+        restored = CDCLSolver.restore(solver.snapshot())
+        assert restored.solve([-2])  # forces 1, then 3
+        assert restored.add_clause([-3])
+        assert not restored.solve([-2])
+        assert restored.solve()
+
+    @given(random_cnf_with_assumptions())
+    @settings(max_examples=60, deadline=None)
+    def test_restored_solver_cores_remain_usable(self, case):
+        clauses, num_vars, assumptions = case
+        original = CDCLSolver(num_vars)
+        ok = True
+        for clause in clauses:
+            ok = original.add_clause(clause) and ok
+        if not ok:
+            return  # nothing to snapshot meaningfully
+        original.solve()
+        if not original._ok:
+            return
+        restored = CDCLSolver.restore(original.snapshot())
+        if restored.solve(assumptions) is not False:
+            return
+        core = restored.core()
+        # a core is a subset of the assumptions that is still unsat
+        assert set(core) <= set(assumptions)
+        assert restored.solve(core) is False
