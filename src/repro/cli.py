@@ -56,11 +56,22 @@ the run falls back to a cold start:
 
 A resumed journal may point at a different (or no) warm cache: the
 journal's configuration fingerprint deliberately excludes it.
+
+Observability (``solve`` and ``campaign``): ``--trace FILE`` records a
+hierarchical span trace (JSONL; convert with ``python -m
+repro.obs.tracer FILE out.json`` and open in chrome://tracing),
+``--metrics FILE`` writes one merged metrics snapshot (counters, gauges
+and timing histograms from every layer), ``--progress`` renders live
+heartbeat lines (task, conflicts/sec, vectors, RSS) while solving, and
+``--profile DIR`` dumps a cProfile pstats file per task.  All four are
+off by default and the instrumented code paths are no-ops without
+them — see docs/OBSERVABILITY.md.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import sys
 import time
 from typing import Optional, Sequence
@@ -149,7 +160,36 @@ def build_parser() -> argparse.ArgumentParser:
         "a compatible engine is cached there, and persist this run's "
         "engine back on completion (ringen only)",
     )
+    _add_obs_arguments(parser)
     return parser
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a span trace to FILE (JSONL; convert for "
+        "chrome://tracing with 'python -m repro.obs.tracer FILE out.json')",
+    )
+    group.add_argument(
+        "--metrics",
+        metavar="FILE",
+        help="write the merged metrics snapshot (counters, gauges, "
+        "timing histograms) to FILE as JSON",
+    )
+    group.add_argument(
+        "--progress",
+        action="store_true",
+        help="render live progress lines while solving (task id, "
+        "conflicts/sec, size vectors, RSS)",
+    )
+    group.add_argument(
+        "--profile",
+        metavar="DIR",
+        help="dump one cProfile pstats file per task into DIR "
+        "(inspect with 'python -m pstats')",
+    )
 
 
 def build_campaign_parser() -> argparse.ArgumentParser:
@@ -237,7 +277,54 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         "signature's engine from DIR when compatible state is cached "
         "there, and persist the campaign's engines back on completion",
     )
+    _add_obs_arguments(parser)
     return parser
+
+
+def _configure_obs(args) -> None:
+    """Turn the process-global collectors on per the CLI flags."""
+    from repro.obs import runtime as obs_runtime
+
+    obs_runtime.configure(
+        trace_path=args.trace, metrics=bool(args.metrics)
+    )
+
+
+def _finalize_obs(args) -> None:
+    """Write the metrics artifact and shut the collectors down."""
+    from repro.obs import runtime as obs_runtime
+
+    if args.metrics and obs_runtime.METRICS is not None:
+        obs_runtime.METRICS.write(args.metrics)
+    obs_runtime.reset()
+
+
+@contextlib.contextmanager
+def _live_progress(args):
+    """Heartbeat progress lines on stderr for the in-process paths
+    (no-op without ``--progress``); supervised campaigns get theirs
+    from the worker pipes instead."""
+    from repro.obs.events import (
+        EventBus,
+        HeartbeatRenderer,
+        ProgressMonitor,
+    )
+
+    if not args.progress:
+        yield
+        return
+    bus = EventBus()
+    bus.subscribe(
+        HeartbeatRenderer(
+            lambda line: print(line, file=sys.stderr), min_interval=1.0
+        )
+    )
+    monitor = ProgressMonitor(bus, interval=0.5)
+    monitor.start()
+    try:
+        yield
+    finally:
+        monitor.stop()
 
 
 def _backend_error(name: str) -> Optional[str]:
@@ -266,14 +353,26 @@ def campaign_main(argv: Sequence[str]) -> int:
             file=sys.stderr,
         )
         return 2
-    if (
-        args.isolate
-        or args.journal
-        or args.resume
-        or args.max_retries is not None
-        or args.mem_limit is not None
-    ):
-        return _campaign_supervised(args)
+    _configure_obs(args)
+    try:
+        if (
+            args.isolate
+            or args.journal
+            or args.resume
+            or args.max_retries is not None
+            or args.mem_limit is not None
+        ):
+            return _campaign_supervised(args)
+        return _campaign_plain(args)
+    finally:
+        _finalize_obs(args)
+
+
+def _campaign_plain(args) -> int:
+    """The in-process campaign loop (no supervisor)."""
+    from repro.obs import runtime as obs_runtime
+    from repro.obs.profiler import maybe_profile, profile_path
+
     pool = (
         None
         if args.no_share
@@ -284,32 +383,53 @@ def campaign_main(argv: Sequence[str]) -> int:
         )
     )
     failures = 0
-    for path in args.files:
-        try:
-            with open(path) as handle:
-                text = handle.read()
-            system = parse_chc(text, name=path)
-        except (OSError, ParseError) as error:
-            print(f"{path}: error: {error}", file=sys.stderr)
-            failures += 1
-            continue
-        solver = RInGen(
-            RInGenConfig(
-                timeout=args.timeout,
-                engine_pool=pool,
-                core_guided_sweep=not args.no_cores,
-                lbd_retention=not args.no_lbd,
-                sat_backend=args.backend,
+    tracer = obs_runtime.TRACER
+    campaign_cm = (
+        tracer.span("campaign", {"files": len(args.files)})
+        if tracer is not None
+        else contextlib.nullcontext()
+    )
+    with campaign_cm, _live_progress(args):
+        for path in args.files:
+            try:
+                with open(path) as handle:
+                    text = handle.read()
+                system = parse_chc(text, name=path)
+            except (OSError, ParseError) as error:
+                print(f"{path}: error: {error}", file=sys.stderr)
+                failures += 1
+                continue
+            solver = RInGen(
+                RInGenConfig(
+                    timeout=args.timeout,
+                    engine_pool=pool,
+                    core_guided_sweep=not args.no_cores,
+                    lbd_retention=not args.no_lbd,
+                    sat_backend=args.backend,
+                )
             )
-        )
-        start = time.monotonic()
-        result = solver.solve(system)
-        elapsed = time.monotonic() - start
-        print(f"{path}: {result.status.value} ({elapsed:.2f}s)")
-        if result.is_unknown:
-            failures += 1
+            obs_runtime.task_started(path)
+            task_cm = (
+                tracer.span("task", {"task": path})
+                if tracer is not None
+                else contextlib.nullcontext()
+            )
+            prof = (
+                profile_path(args.profile, path) if args.profile else None
+            )
+            start = time.monotonic()
+            try:
+                with task_cm, maybe_profile(prof):
+                    result = solver.solve(system)
+            finally:
+                obs_runtime.task_finished()
+            elapsed = time.monotonic() - start
+            print(f"{path}: {result.status.value} ({elapsed:.2f}s)")
+            if result.is_unknown:
+                failures += 1
     if pool is not None:
         pool.flush_cache()
+        pool.publish_metrics()
         if not args.quiet:
             stats = pool.as_dict()
             print(
@@ -359,9 +479,14 @@ def _campaign_supervised(args) -> int:
         share_engines=not args.no_share,
         mem_limit_mb=args.mem_limit,
         solver_opts=solver_opts,
+        profile_dir=args.profile,
     )
     if args.max_retries is not None:
         policy.max_retries = args.max_retries
+    if args.progress:
+        # workers stream heartbeats over the verdict pipe; the
+        # supervisor renders at most one line per second
+        policy.heartbeat_interval = 1.0
     failures = 0
     tasks: list[TaskSpec] = []
     for index, path in enumerate(args.files):
@@ -401,20 +526,47 @@ def _campaign_supervised(args) -> int:
             sat_backend=args.backend,
             cache_dir=args.warm_cache,
         )
-    try:
-        records, stats = execute_tasks(
-            tasks,
-            policy,
-            journal_path=journal,
-            resume=bool(args.resume),
-            progress=print,
-            engine_pool=pool,
+    from repro.obs import runtime as obs_runtime
+
+    tracer = obs_runtime.TRACER
+    campaign_cm = (
+        tracer.span(
+            "campaign", {"files": len(tasks), "isolate": policy.isolate}
         )
+        if tracer is not None
+        else contextlib.nullcontext()
+    )
+    try:
+        with campaign_cm:
+            records, stats = execute_tasks(
+                tasks,
+                policy,
+                journal_path=journal,
+                resume=bool(args.resume),
+                progress=print,
+                engine_pool=pool,
+            )
     except JournalError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+    metrics = obs_runtime.METRICS
+    if metrics is not None:
+        for record in records.values():
+            metrics.timing(
+                "task.elapsed", float(record.get("elapsed") or 0.0)
+            )
+            metrics.inc(f"task.status.{record.get('status', 'unknown')}")
+        metrics.publish(
+            "exec",
+            {
+                k: v
+                for k, v in stats.as_dict().items()
+                if k not in ("pool_stats", "last_heartbeat")
+            },
+        )
     if pool is not None:
         pool.flush_cache()
+        pool.publish_metrics()
     for task in tasks:
         record = records.get(task.task_id)
         if record is None:
@@ -482,7 +634,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         sat_backend=args.backend,
         engine_cache_dir=args.warm_cache,
     )
-    result = solver.solve(system)
+    from repro.obs import runtime as obs_runtime
+    from repro.obs.profiler import maybe_profile, profile_path
+
+    _configure_obs(args)
+    try:
+        obs_runtime.task_started(args.file)
+        prof = (
+            profile_path(args.profile, args.file) if args.profile else None
+        )
+        with _live_progress(args), maybe_profile(prof):
+            result = solver.solve(system)
+    finally:
+        obs_runtime.task_finished()
+        _finalize_obs(args)
     print(result.status.value)
     if result.is_unknown and result.reason:
         print(f"; {result.reason}")

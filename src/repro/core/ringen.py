@@ -30,6 +30,7 @@ from repro.core.regular_model import RegularModel
 from repro.core.result import SolveResult, Status, sat, unknown, unsat
 from repro.mace.finder import FinderStats, ModelFinder
 from repro.mace.pool import EnginePool
+from repro.obs import runtime as obs_runtime
 
 
 @dataclass
@@ -105,6 +106,20 @@ class RInGen:
         self.config = config or RInGenConfig()
 
     def solve(self, system: CHCSystem) -> SolveResult:
+        tracer = obs_runtime.TRACER
+        if tracer is None:
+            return self._solve_impl(system)
+        span = tracer.begin(
+            "solve", {"system": getattr(system, "name", None)}
+        )
+        try:
+            result = self._solve_impl(system)
+            span.args["status"] = result.status.value
+            return result
+        finally:
+            tracer.end(span)
+
+    def _solve_impl(self, system: CHCSystem) -> SolveResult:
         start = time.monotonic()
         cfg = self.config
         deadline = None if cfg.timeout is None else start + cfg.timeout

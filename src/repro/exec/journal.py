@@ -16,6 +16,7 @@ any other malformed line rather than silently dropping verdicts.
 
 from __future__ import annotations
 
+import datetime
 import hashlib
 import json
 import logging
@@ -60,19 +61,32 @@ class ResultsJournal:
         fresh = not os.path.exists(path) or os.path.getsize(path) == 0
         self._handle = open(path, "a", encoding="utf-8")
         if fresh:
+            created = time.time()
             header = {
                 "kind": "meta",
                 "version": JOURNAL_VERSION,
-                "created": time.time(),
+                "created": created,
+                # the same instant twice: the float for arithmetic, the
+                # ISO-8601 UTC form for humans reading the raw file
+                "created_iso": datetime.datetime.fromtimestamp(
+                    created, tz=datetime.timezone.utc
+                ).isoformat(),
             }
             header.update(meta or {})
             self._write(header)
 
     def record(self, entry: dict) -> None:
-        """Append one finished task's verdict and force it to disk."""
+        """Append one finished task's verdict and force it to disk.
+
+        Each entry is stamped with the wall-clock write time (``ts``,
+        epoch seconds) unless the caller already supplied one, so a
+        journal doubles as a campaign timeline.
+        """
         if "task" not in entry:
             raise JournalError("journal records must carry a 'task' id")
-        self._write({"kind": "record", **entry})
+        payload = {"kind": "record", **entry}
+        payload.setdefault("ts", time.time())
+        self._write(payload)
 
     def _write(self, payload: dict) -> None:
         assert self._handle is not None

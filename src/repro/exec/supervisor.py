@@ -58,6 +58,14 @@ from repro.exec.journal import (
     config_fingerprint,
     load_journal,
 )
+from repro.obs import runtime as obs_runtime
+from repro.obs.events import (
+    EventBus,
+    HeartbeatRenderer,
+    ProgressMonitor,
+    legacy_line_subscriber,
+)
+from repro.obs.profiler import maybe_profile, profile_path
 
 logger = logging.getLogger(__name__)
 
@@ -79,6 +87,12 @@ class ExecPolicy:
     ``max_retries`` bounds retries of *transient* failures (a worker
     that died without writing a result); deterministic faults — a
     structured crash, a hard timeout, an OOM — are never retried.
+
+    The observability block: ``heartbeat_interval`` > 0 makes workers
+    (and an in-process sampling thread) emit periodic live-progress
+    heartbeats onto the event bus, rendered at most once per
+    ``progress_throttle`` seconds; ``profile_dir`` dumps one cProfile
+    pstats file per task there.
     """
 
     isolate: bool = False
@@ -91,6 +105,9 @@ class ExecPolicy:
     hard_timeout_grace: float = 1.0
     share_engines: bool = False
     solver_opts: Optional[dict] = None
+    heartbeat_interval: float = 0.0
+    progress_throttle: float = 1.0
+    profile_dir: Optional[str] = None
     # None = read REPRO_FAULT_PLAN from the environment (empty plan if
     # unset); pass an explicit plan (possibly empty) to override
     fault_plan: Optional[ReproFaultPlan] = None
@@ -170,6 +187,10 @@ class ExecStats:
     snapshots_collected: int = 0
     interrupted: bool = False
     isolate: bool = False
+    # live progress: heartbeats seen on the verdict pipes, and the most
+    # recent one (the supervisor's view of in-flight worker state)
+    heartbeats_received: int = 0
+    last_heartbeat: Optional[dict] = None
     error_counts: dict[str, int] = field(default_factory=dict)
     pool_stats: Optional[dict] = None
 
@@ -197,6 +218,8 @@ class ExecStats:
             "snapshots_collected": self.snapshots_collected,
             "interrupted": self.interrupted,
             "isolate": self.isolate,
+            "heartbeats_received": self.heartbeats_received,
+            "last_heartbeat": self.last_heartbeat,
             "error_counts": dict(self.error_counts),
             "pool_stats": self.pool_stats,
         }
@@ -214,6 +237,7 @@ def execute_tasks(
     resume: bool = False,
     progress: Optional[Progress] = None,
     engine_pool=None,
+    bus: Optional[EventBus] = None,
 ) -> tuple[dict[str, dict], ExecStats]:
     """Run every task under the policy; never lose finished verdicts.
 
@@ -222,10 +246,26 @@ def execute_tasks(
     verdicts replayed from the journal on resume.  On SIGINT/SIGTERM
     the partial records collected so far are returned with
     ``stats.interrupted`` set — the journal already holds all of them.
+
+    Progress reporting rides the :class:`~repro.obs.events.EventBus`:
+    every verdict becomes a ``task_finished`` event and (with
+    ``policy.heartbeat_interval`` > 0) live ``heartbeat`` events flow in
+    between.  The legacy ``progress`` string callback still works — it
+    is subscribed through an adapter rendering the historical lines —
+    and callers needing structured events pass their own ``bus``.
     """
     policy = policy or ExecPolicy()
     plan = policy.plan()
     stats = ExecStats(tasks_total=len(tasks), isolate=policy.isolate)
+    bus = bus if bus is not None else EventBus()
+    if progress is not None:
+        bus.subscribe(legacy_line_subscriber(progress))
+        if policy.heartbeat_interval > 0:
+            bus.subscribe(
+                HeartbeatRenderer(
+                    progress, min_interval=policy.progress_throttle
+                )
+            )
     results: dict[str, dict] = {}
     pending = list(tasks)
     solver_opts = policy.solver_opts or {}
@@ -264,12 +304,12 @@ def execute_tasks(
                 if policy.isolate:
                     _execute_isolated(
                         pending, policy, plan, stats, results, journal,
-                        progress,
+                        bus,
                     )
                 else:
                     _execute_inprocess(
                         pending, policy, plan, stats, results, journal,
-                        progress, engine_pool,
+                        bus, engine_pool,
                     )
             except (KeyboardInterrupt, CampaignInterrupted) as stop:
                 logger.warning(
@@ -308,7 +348,7 @@ def _finish(
     stats: ExecStats,
     results: dict[str, dict],
     journal: Optional[ResultsJournal],
-    progress: Optional[Progress],
+    bus: Optional[EventBus],
 ) -> None:
     record["task"] = task.task_id
     record["attempts"] = attempt
@@ -318,11 +358,16 @@ def _finish(
     results[task.task_id] = record
     if journal is not None:
         journal.record(record)
-    if progress is not None:
-        suffix = f" [{kind}]" if kind else ""
-        progress(
-            f"{task.task_id}: {record['status']} "
-            f"({record['elapsed']:.2f}s){suffix}"
+    if bus is not None:
+        bus.emit(
+            {
+                "kind": "task_finished",
+                "task": task.task_id,
+                "status": record["status"],
+                "elapsed": record["elapsed"],
+                "error_kind": kind,
+                "attempts": attempt,
+            }
         )
 
 
@@ -375,55 +420,95 @@ def _execute_inprocess(
     stats: ExecStats,
     results: dict[str, dict],
     journal: Optional[ResultsJournal],
-    progress: Optional[Progress],
+    bus: Optional[EventBus],
     engine_pool,
 ) -> None:
-    for task in pending:
-        _check_injected_interrupt(task, plan, 1)
-        attempt = 1
-        while True:
-            start = time.monotonic()
+    monitor: Optional[ProgressMonitor] = None
+    if bus is not None and policy.heartbeat_interval > 0:
+        monitor = ProgressMonitor(bus, interval=policy.heartbeat_interval)
+        monitor.start()
+
+    def heartbeat_tally(event: dict) -> None:
+        if event.get("kind") == "heartbeat":
+            stats.heartbeats_received += 1
+            stats.last_heartbeat = event
+
+    if monitor is not None:
+        bus.subscribe(heartbeat_tally)
+    try:
+        for task in pending:
+            _check_injected_interrupt(task, plan, 1)
+            attempt = 1
+            obs_runtime.task_started(task.task_id)
+            tracer = obs_runtime.TRACER
+            span = (
+                tracer.begin("task", {"task": task.task_id})
+                if tracer is not None
+                else None
+            )
+            prof = (
+                profile_path(policy.profile_dir, task.task_id)
+                if policy.profile_dir
+                else None
+            )
+            record: Optional[dict] = None
             try:
-                plan.fire(
-                    task.task_id,
-                    task.index,
-                    attempt,
-                    isolated=False,
-                    timeout=task.timeout,
-                    mem_limit_mb=policy.mem_limit_mb,
-                )
-                system = task.build_system()
-                record = worker_mod.solve_task(
-                    system,
-                    task.solver,
-                    task.timeout,
-                    task.expected_status,
-                    engine_pool=engine_pool,
-                    solver_opts=policy.solver_opts,
-                )
-            except TransientWorkerFault as error:
-                if attempt <= policy.max_retries:
-                    stats.retries += 1
-                    attempt += 1
-                    time.sleep(policy.backoff(task.task_id, attempt))
-                    continue
-                record = worker_mod.crash_record(
-                    error, time.monotonic() - start, transient=True
-                )
-            except CooperativeHang as error:
-                record = _cooperative_timeout_record(
-                    error, time.monotonic() - start
-                )
-            except MemoryError as error:
-                record = worker_mod.crash_record(
-                    error, time.monotonic() - start
-                )
-            except Exception as error:
-                record = worker_mod.crash_record(
-                    error, time.monotonic() - start
-                )
-            break
-        _finish(task, record, attempt, stats, results, journal, progress)
+                while True:
+                    start = time.monotonic()
+                    try:
+                        with maybe_profile(prof):
+                            plan.fire(
+                                task.task_id,
+                                task.index,
+                                attempt,
+                                isolated=False,
+                                timeout=task.timeout,
+                                mem_limit_mb=policy.mem_limit_mb,
+                            )
+                            system = task.build_system()
+                            record = worker_mod.solve_task(
+                                system,
+                                task.solver,
+                                task.timeout,
+                                task.expected_status,
+                                engine_pool=engine_pool,
+                                solver_opts=policy.solver_opts,
+                            )
+                    except TransientWorkerFault as error:
+                        if attempt <= policy.max_retries:
+                            stats.retries += 1
+                            attempt += 1
+                            time.sleep(
+                                policy.backoff(task.task_id, attempt)
+                            )
+                            continue
+                        record = worker_mod.crash_record(
+                            error, time.monotonic() - start, transient=True
+                        )
+                    except CooperativeHang as error:
+                        record = _cooperative_timeout_record(
+                            error, time.monotonic() - start
+                        )
+                    except MemoryError as error:
+                        record = worker_mod.crash_record(
+                            error, time.monotonic() - start
+                        )
+                    except Exception as error:
+                        record = worker_mod.crash_record(
+                            error, time.monotonic() - start
+                        )
+                    break
+            finally:
+                if span is not None:
+                    span.args["status"] = (
+                        record.get("status") if record is not None else None
+                    )
+                    tracer.end(span)
+                obs_runtime.task_finished()
+            _finish(task, record, attempt, stats, results, journal, bus)
+    finally:
+        if monitor is not None:
+            monitor.stop()
 
 
 # ---------------------------------------------------------------------------
@@ -439,7 +524,7 @@ def _execute_isolated(
     stats: ExecStats,
     results: dict[str, dict],
     journal: Optional[ResultsJournal],
-    progress: Optional[Progress],
+    bus: Optional[EventBus],
 ) -> None:
     attempts = {t.task_id: 1 for t in pending}
     queue: deque[list[TaskSpec]] = deque(_batches(pending, policy))
@@ -463,11 +548,11 @@ def _execute_isolated(
         def finish(task: TaskSpec, record: dict) -> None:
             _finish(
                 task, record, attempts[task.task_id], stats, results,
-                journal, progress,
+                journal, bus,
             )
 
         retry, reschedule = _run_worker_batch(
-            batch, policy, plan, attempts, stats, finish, snapshots
+            batch, policy, plan, attempts, stats, finish, snapshots, bus
         )
         # retried tasks run next (singleton workers, attempt bumped);
         # rescheduled tasks were bystanders of a batch failure and keep
@@ -573,6 +658,7 @@ def _run_worker_batch(
     stats: ExecStats,
     finish: Callable[[TaskSpec, dict], None],
     snapshots: Optional[dict] = None,
+    bus: Optional[EventBus] = None,
 ) -> tuple[list[TaskSpec], list[TaskSpec]]:
     """Run one batch in one worker; classify every way it can end.
 
@@ -622,16 +708,34 @@ def _run_worker_batch(
         "fault_plan": plan.encode() if plan else None,
         "solver_opts": policy.solver_opts,
         "engine_snapshot": warm,
+        # workers mirror the supervisor's collector configuration with
+        # their own in-memory instances; spans/metrics ship back over
+        # the pipe and merge here
+        "obs": {
+            "trace": obs_runtime.TRACER is not None,
+            "metrics": obs_runtime.METRICS is not None,
+            "heartbeat": policy.heartbeat_interval,
+            "profile_dir": policy.profile_dir,
+        },
     }
     if warm is not None:
         stats.workers_warm_started += 1
 
     def collect(record: dict) -> None:
-        """Pull a returned snapshot out of a verdict record (if any)."""
+        """Pull supervisor-side freight out of a verdict record."""
         snap = record.pop("engine_snapshot", None)
         if snap is not None and snapshots is not None and group_key is not None:
             snapshots[group_key] = snap
             stats.snapshots_collected += 1
+        spans = record.pop("obs_spans", None)
+        if spans and obs_runtime.TRACER is not None:
+            obs_runtime.TRACER.absorb(spans)
+
+    def heartbeat(msg: dict) -> None:
+        stats.heartbeats_received += 1
+        stats.last_heartbeat = msg
+        if bus is not None:
+            bus.emit(msg)
     proc = ctx.Process(
         target=worker_mod.worker_entry, args=(child, payload), daemon=True
     )
@@ -672,6 +776,17 @@ def _run_worker_batch(
                         msg = parent.recv()
                     except EOFError:
                         msg = _EOF
+                if (
+                    isinstance(msg, dict)
+                    and msg.get("kind") == "heartbeat"
+                ):
+                    # liveness telemetry, not a verdict: surface it and
+                    # keep waiting — deliberately WITHOUT resetting the
+                    # watchdog deadline (a hung solver's heartbeat
+                    # thread still beats; heartbeats must never keep a
+                    # stuck task alive)
+                    heartbeat(msg)
+                    msg = None
             if msg is None:
                 # the hard watchdog: no result within the wall budget
                 _kill(proc)
@@ -699,14 +814,28 @@ def _run_worker_batch(
             collect(msg)
             finish(task, msg)
             index += 1
-        # drain the done message (carries per-worker pool counters)
-        if parent.poll(2.0):
+        # drain the done message (pool counters + worker metrics),
+        # stepping over any heartbeats still in flight
+        drain_deadline = time.monotonic() + 2.0
+        while time.monotonic() < drain_deadline:
+            if not parent.poll(drain_deadline - time.monotonic()):
+                break
             try:
                 done = parent.recv()
-                if isinstance(done, dict) and done.get("pool_stats"):
-                    stats.merge_pool(done["pool_stats"])
             except EOFError:
-                pass
+                break
+            if isinstance(done, dict) and done.get("kind") == "heartbeat":
+                heartbeat(done)
+                continue
+            if isinstance(done, dict):
+                if done.get("pool_stats"):
+                    stats.merge_pool(done["pool_stats"])
+                if (
+                    done.get("obs_metrics")
+                    and obs_runtime.METRICS is not None
+                ):
+                    obs_runtime.METRICS.merge(done["obs_metrics"])
+            break
         proc.join(timeout=5.0)
         return retry, reschedule
     finally:

@@ -20,11 +20,15 @@ from __future__ import annotations
 
 import gc
 import signal
+import threading
 import time
 import traceback
 from typing import Any, Optional
 
 from repro.exec.faults import ReproFaultPlan
+from repro.obs import runtime as obs_runtime
+from repro.obs.events import heartbeat_event
+from repro.obs.profiler import maybe_profile, profile_path
 
 #: message sent after the last task so the supervisor can tell a clean
 #: finish from a death right after the final result
@@ -178,18 +182,66 @@ def worker_entry(conn, payload: dict) -> None:
                     "expected_status", "index", "attempt"}, ...],
          "share_engines": bool, "mem_limit_mb": int | None,
          "fault_plan": str | None, "solver_opts": dict | None,
-         "engine_snapshot": dict | None}
+         "engine_snapshot": dict | None,
+         "obs": {"trace": bool, "metrics": bool,
+                 "heartbeat": float, "profile_dir": str | None} | None}
 
     ``engine_snapshot`` (engine sharing only) warm-starts the worker's
     pool from a predecessor's serialized engine; each verdict message
     carries the pool's current snapshot back so the supervisor can
     reschedule the batch remainder warm after a worker death.
+
+    ``obs`` turns the worker's own collectors on: an in-memory tracer
+    whose finished spans ship back inside each verdict
+    (``record["obs_spans"]``), a metrics registry whose snapshot rides
+    the done message (``obs_metrics``), a heartbeat thread streaming
+    live-progress samples over the verdict pipe every ``heartbeat``
+    seconds (0 disables it), and per-task cProfile dumps under
+    ``profile_dir``.
     """
     # the supervisor owns interrupt handling; a Ctrl-C aimed at the
     # campaign must not corrupt a worker mid-message
     signal.signal(signal.SIGINT, signal.SIG_IGN)
     signal.signal(signal.SIGTERM, signal.SIG_DFL)
     _apply_mem_limit(payload.get("mem_limit_mb"))
+    # the fork inherited the parent's collectors — including an open
+    # file handle the parent still writes — so drop them all before
+    # configuring this process's own
+    obs_runtime.forget()
+    obs_cfg = payload.get("obs") or {}
+    obs_runtime.configure(
+        trace=bool(obs_cfg.get("trace")),
+        metrics=bool(obs_cfg.get("metrics")),
+    )
+    profile_dir = obs_cfg.get("profile_dir")
+    heartbeat = float(obs_cfg.get("heartbeat") or 0.0)
+    # every pipe write (verdicts, done, heartbeats from the sampler
+    # thread) holds this lock: multiprocessing.Connection sends are not
+    # atomic across threads
+    send_lock = threading.Lock()
+    stop_heartbeat = threading.Event()
+    beater: Optional[threading.Thread] = None
+    if heartbeat > 0:
+
+        def _beat() -> None:
+            previous: Optional[dict] = None
+            while not stop_heartbeat.wait(heartbeat):
+                sample = obs_runtime.live_sample()
+                if sample.get("task") is None:
+                    previous = None
+                    continue
+                event = heartbeat_event(sample, previous)
+                previous = sample
+                try:
+                    with send_lock:
+                        conn.send(event)
+                except (OSError, ValueError):
+                    return  # pipe gone: the supervisor is tearing down
+
+        beater = threading.Thread(
+            target=_beat, name="repro-worker-heartbeat", daemon=True
+        )
+        beater.start()
     plan = ReproFaultPlan.parse(payload.get("fault_plan"))
     solver_opts = payload.get("solver_opts") or None
     pool = None
@@ -212,30 +264,54 @@ def worker_entry(conn, payload: dict) -> None:
         for task in payload["tasks"]:
             task_id = task["task_id"]
             start = time.monotonic()
+            # registered before plan.fire so an injected hang still
+            # shows up in heartbeats (that is what live progress is for)
+            obs_runtime.task_started(task_id)
+            tracer = obs_runtime.TRACER
+            span = (
+                tracer.begin("task", {"task": task_id})
+                if tracer is not None
+                else None
+            )
+            prof = (
+                profile_path(profile_dir, task_id) if profile_dir else None
+            )
+            record: dict = {}
             try:
-                plan.fire(
-                    task_id,
-                    task.get("index", 0),
-                    task.get("attempt", 1),
-                    isolated=True,
-                    timeout=task.get("timeout"),
-                    mem_limit_mb=payload.get("mem_limit_mb"),
-                )
-                system = parse_chc(task["smt_text"], name=task_id)
-                record = solve_task(
-                    system,
-                    task["solver"],
-                    task["timeout"],
-                    task.get("expected_status"),
-                    engine_pool=pool,
-                    solver_opts=solver_opts,
-                )
+                with maybe_profile(prof):
+                    plan.fire(
+                        task_id,
+                        task.get("index", 0),
+                        task.get("attempt", 1),
+                        isolated=True,
+                        timeout=task.get("timeout"),
+                        mem_limit_mb=payload.get("mem_limit_mb"),
+                    )
+                    system = parse_chc(task["smt_text"], name=task_id)
+                    record = solve_task(
+                        system,
+                        task["solver"],
+                        task["timeout"],
+                        task.get("expected_status"),
+                        engine_pool=pool,
+                        solver_opts=solver_opts,
+                    )
             except MemoryError as error:
                 gc.collect()
                 record = crash_record(error, time.monotonic() - start)
             except Exception as error:
                 record = crash_record(error, time.monotonic() - start)
+            finally:
+                if span is not None:
+                    span.args["status"] = record.get("status")
+                    tracer.end(span)
+                obs_runtime.task_finished()
             record["task"] = task_id
+            if tracer is not None:
+                # finished spans ride each verdict so the supervisor's
+                # file-backed tracer absorbs them as they happen, not
+                # only if the worker survives to the done message
+                record["obs_spans"] = tracer.drain()
             if pool is not None:
                 # ship the engine state with every verdict: whatever
                 # the worker last managed to send seeds a warm restart
@@ -243,11 +319,23 @@ def worker_entry(conn, payload: dict) -> None:
                 snap = pool.last_snapshot()
                 if snap is not None:
                     record["engine_snapshot"] = snap
-            conn.send(record)
+            with send_lock:
+                conn.send(record)
         done: dict = {DONE: True}
         if pool is not None:
             pool.flush_cache()
+            # pool counters ride pool_stats and are published once at
+            # campaign level; publishing them into this registry too
+            # would double-count after the supervisor's merge
             done["pool_stats"] = pool.as_dict()
-        conn.send(done)
+        if obs_runtime.METRICS is not None:
+            done["obs_metrics"] = obs_runtime.METRICS.snapshot()
+        # the heartbeat thread must not race a close()d pipe
+        stop_heartbeat.set()
+        if beater is not None:
+            beater.join(timeout=2.0)
+        with send_lock:
+            conn.send(done)
     finally:
+        stop_heartbeat.set()
         conn.close()

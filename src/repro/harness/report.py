@@ -335,6 +335,62 @@ def campaign_report(
         sections.append(markdown_table(["metric", "value"], rows))
         sections.append("")
 
+    # observability: where the wall clock went, from the merged metrics
+    # snapshot (present only when the campaign ran with --metrics)
+    if campaign.obs is not None:
+        counters = campaign.obs.get("counters") or {}
+        phase_names = sorted(
+            {
+                name[len("phase."):-len("_s")]
+                for name in counters
+                if name.startswith("phase.") and name.endswith("_s")
+            }
+        )
+        if phase_names:
+            sections.append("## Timing breakdown — solver phases")
+            sections.append("")
+            total = sum(
+                counters.get(f"phase.{p}_s", 0.0) for p in phase_names
+            )
+            rows = []
+            for phase in phase_names:
+                secs = counters.get(f"phase.{phase}_s", 0.0)
+                calls = int(counters.get(f"phase.{phase}_n", 0))
+                share = (100.0 * secs / total) if total else 0.0
+                rows.append(
+                    [phase, f"{secs:.3f}", calls, f"{share:.1f}%"]
+                )
+            sections.append(
+                markdown_table(
+                    ["phase", "time (s)", "calls", "share"], rows
+                )
+            )
+            sections.append("")
+            sections.append(
+                "_`propagate`/`analyze` are timed inside `minimize` "
+                "probes too, so phase shares describe where time went, "
+                "not a disjoint partition._"
+            )
+            sections.append("")
+        hist = (campaign.obs.get("histograms") or {}).get("task.elapsed")
+        if hist and hist.get("count"):
+            sections.append("## Timing breakdown — task wall clock")
+            sections.append("")
+            mean = hist["total"] / hist["count"]
+            sections.append(
+                markdown_table(
+                    ["metric", "value"],
+                    [
+                        ["tasks", hist["count"]],
+                        ["total (s)", f"{hist['total']:.3f}"],
+                        ["mean (s)", f"{mean:.3f}"],
+                        ["min (s)", f"{hist['min']:.3f}"],
+                        ["max (s)", f"{hist['max']:.3f}"],
+                    ],
+                )
+            )
+            sections.append("")
+
     # per-problem appendix: everything any solver answered
     sections.append("## Appendix — solved problems")
     sections.append("")

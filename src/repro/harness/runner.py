@@ -9,6 +9,7 @@ aggregates into the paper's tables and figures.
 
 from __future__ import annotations
 
+import contextlib
 import logging
 import time
 import traceback as traceback_mod
@@ -20,6 +21,7 @@ from repro.chc.transform import preprocess
 from repro.core.result import SolveResult, Status
 from repro.core.ringen import RInGen, RInGenConfig
 from repro.mace.pool import EnginePool, signature_fingerprint
+from repro.obs import runtime as obs_runtime
 from repro.solvers.elem import ElemConfig, ElemSolver
 from repro.solvers.induct import InductConfig, InductSolver
 from repro.solvers.sizeelem import SizeElemConfig, SizeElemSolver
@@ -122,6 +124,9 @@ class Campaign:
     # case the records are the partial, journaled prefix
     exec_stats: Optional[dict] = None
     interrupted: bool = False
+    # observability: the merged metrics snapshot of the run (see
+    # repro.obs.metrics) when metrics collection was on, else None
+    obs: Optional[dict] = None
 
     def add(self, record: RunRecord) -> None:
         self.records.append(record)
@@ -264,6 +269,30 @@ def run_problem(
     engine_pool: Optional[EnginePool] = None,
 ) -> RunRecord:
     """Run one solver on one problem and score the verdict."""
+    task_id = task_id_for(problem, solver_name)
+    obs_runtime.task_started(task_id)
+    tracer = obs_runtime.TRACER
+    span_cm = (
+        tracer.span("task", {"task": task_id})
+        if tracer is not None
+        else contextlib.nullcontext()
+    )
+    try:
+        with span_cm:
+            return _run_problem_impl(
+                problem, solver_name, timeout, engine_pool=engine_pool
+            )
+    finally:
+        obs_runtime.task_finished()
+
+
+def _run_problem_impl(
+    problem: Problem,
+    solver_name: str,
+    timeout: float,
+    *,
+    engine_pool: Optional[EnginePool] = None,
+) -> RunRecord:
     start = time.monotonic()
     try:
         solver = make_solver(solver_name, timeout, engine_pool=engine_pool)
@@ -372,35 +401,82 @@ def run_campaign(
     pool = engine_pool
     if share_engines and pool is None:
         pool = EnginePool(cache_dir=engine_cache_dir)
-    for suite in suites:
-        problems = [
-            p
-            for p in suite
-            if problem_filter is None or problem_filter(p)
-        ]
-        if pool is not None:
-            problems = batch_order(problems)
-        for problem in problems:
-            for solver_name in solvers:
-                record = run_problem(
-                    problem, solver_name, timeout, engine_pool=pool
-                )
-                campaign.add(record)
-                if progress is not None:
-                    progress(
-                        f"{problem.suite}/{problem.name} "
-                        f"{solver_name}: {record.status} "
-                        f"({record.elapsed:.2f}s)"
+    tracer = obs_runtime.TRACER
+    span_cm = (
+        tracer.span(
+            "campaign", {"suites": len(suites), "solvers": list(solvers)}
+        )
+        if tracer is not None
+        else contextlib.nullcontext()
+    )
+    with span_cm:
+        for suite in suites:
+            problems = [
+                p
+                for p in suite
+                if problem_filter is None or problem_filter(p)
+            ]
+            if pool is not None:
+                problems = batch_order(problems)
+            for problem in problems:
+                for solver_name in solvers:
+                    record = run_problem(
+                        problem, solver_name, timeout, engine_pool=pool
                     )
+                    campaign.add(record)
+                    if progress is not None:
+                        progress(
+                            f"{problem.suite}/{problem.name} "
+                            f"{solver_name}: {record.status} "
+                            f"({record.elapsed:.2f}s)"
+                        )
     if pool is not None:
         pool.flush_cache()
         campaign.pool_stats = pool.as_dict()
+    _publish_campaign_obs(campaign)
     return campaign
 
 
 def task_id_for(problem: Problem, solver_name: str) -> str:
     """The stable journal/task key of one (problem, solver) pair."""
     return f"{problem.suite}/{problem.name}/{solver_name}"
+
+
+def _publish_campaign_obs(campaign: Campaign) -> None:
+    """Fold the finished campaign into the metrics registry (if any)
+    and hang the merged snapshot on ``campaign.obs``.
+
+    Per-record: the ``task.elapsed`` timing histogram, status and error
+    tallies, and the model finder's stats dict.  Campaign-level: the
+    pool and execution-layer counters.  The ``phase.*`` and ``sat.*``
+    counters were already published at solve time by the instrumented
+    layers themselves.
+    """
+    metrics = obs_runtime.METRICS
+    if metrics is None:
+        return
+    for r in campaign.records:
+        metrics.timing("task.elapsed", r.elapsed)
+        metrics.inc(f"task.status.{r.status.value}")
+        if r.error_kind:
+            metrics.inc(f"task.error.{r.error_kind}")
+        finder = r.details.get("finder")
+        if isinstance(finder, dict):
+            metrics.publish("finder", finder)
+    if campaign.pool_stats:
+        metrics.publish("pool", campaign.pool_stats)
+    if campaign.exec_stats:
+        metrics.publish(
+            "exec",
+            {
+                k: v
+                for k, v in campaign.exec_stats.items()
+                # pool counters go in under their own prefix above; the
+                # last heartbeat is a point sample, not a counter
+                if k not in ("pool_stats", "last_heartbeat")
+            },
+        )
+    campaign.obs = metrics.snapshot()
 
 
 def _record_from_exec(problem: Problem, solver_name: str, rec: dict) -> RunRecord:
@@ -499,14 +575,28 @@ def _run_campaign_supervised(
     pool = engine_pool
     if policy.share_engines and not policy.isolate and pool is None:
         pool = EnginePool(cache_dir=engine_cache_dir)
-    records, stats = execute_tasks(
-        tasks,
-        policy,
-        journal_path=journal_path,
-        resume=resume,
-        progress=progress,
-        engine_pool=pool,
+    tracer = obs_runtime.TRACER
+    span_cm = (
+        tracer.span(
+            "campaign",
+            {
+                "suites": len(suites),
+                "solvers": list(solvers),
+                "isolate": policy.isolate,
+            },
+        )
+        if tracer is not None
+        else contextlib.nullcontext()
     )
+    with span_cm:
+        records, stats = execute_tasks(
+            tasks,
+            policy,
+            journal_path=journal_path,
+            resume=resume,
+            progress=progress,
+            engine_pool=pool,
+        )
     campaign = Campaign(timeout=timeout)
     for task in tasks:
         rec = records.get(task.task_id)
@@ -521,4 +611,5 @@ def _run_campaign_supervised(
         campaign.pool_stats = pool.as_dict()
     elif stats.pool_stats is not None:
         campaign.pool_stats = stats.pool_stats
+    _publish_campaign_obs(campaign)
     return campaign

@@ -141,6 +141,7 @@ from repro.logic.formulas import TRUE
 from repro.logic.sorts import FuncSymbol, PredSymbol, Sort
 from repro.logic.terms import App, Term, Var
 from repro.mace.model import FiniteModel, validate_model
+from repro.obs import runtime as obs_runtime
 from repro.sat.backend import SatBackend, make_backend, restore_backend
 from repro.sat.cnf import SelectorPool
 
@@ -1080,6 +1081,23 @@ class _IncrementalEngine:
         consistent — already-emitted clauses are valid — but the
         envelopes are not advanced).
         """
+        tracer, metrics = obs_runtime.TRACER, obs_runtime.METRICS
+        if tracer is None and metrics is None:
+            return self._ensure(ctx, sizes)
+        t0 = time.monotonic()
+        try:
+            return self._ensure(ctx, sizes)
+        finally:
+            dt = time.monotonic() - t0
+            if tracer is not None:
+                tracer.aggregate("encode", dt, 1)
+            if metrics is not None:
+                metrics.inc("phase.encode_s", dt)
+                metrics.inc("phase.encode_n", 1)
+
+    def _ensure(
+        self, ctx: _ProblemContext, sizes: dict[Sort, int]
+    ) -> Optional[bool]:
         new = {s: max(self.cur[s], sizes[s]) for s in self.sorts}
         if new != self.cur:
             for s in self.sorts:
@@ -1454,7 +1472,95 @@ class _IncrementalEngine:
         what lets :meth:`ModelFinder.search` report an honest
         ``complete`` verdict; refutations additionally carry their unsat
         core into ``ctx.refuted_cores`` when ``collect_cores`` is on.
+
+        With observability on (:mod:`repro.obs.runtime`) each attempt
+        runs inside a ``vector`` span with the solver's phase timers
+        enabled; the per-phase totals land as aggregate child spans and
+        ``phase.*`` metric counters.  Disabled, this wrapper is a single
+        check and the untimed body runs verbatim — verdicts and stats
+        are identical either way.
         """
+        tracer, metrics = obs_runtime.TRACER, obs_runtime.METRICS
+        if tracer is None and metrics is None:
+            return self._try_vector(
+                ctx,
+                sizes,
+                stats,
+                deadline=deadline,
+                max_conflicts=max_conflicts,
+                max_learned_clauses=max_learned_clauses,
+                collect_cores=collect_cores,
+                minimize_cores=minimize_cores,
+            )
+        # phase timing is a CDCLSolver extra; external backends simply
+        # skip it (the vector span itself still records)
+        set_pt = getattr(self.solver, "set_phase_timing", None)
+        if set_pt is not None:
+            set_pt(True)
+        obs_runtime.watch_solver_stats(self.solver.stats)
+        span = None
+        if tracer is not None:
+            span = tracer.begin(
+                "vector",
+                {
+                    "sizes": {
+                        getattr(s, "name", str(s)): k
+                        for s, k in sizes.items()
+                    }
+                },
+            )
+        outcome: Optional[_VectorOutcome] = None
+        try:
+            outcome = self._try_vector(
+                ctx,
+                sizes,
+                stats,
+                deadline=deadline,
+                max_conflicts=max_conflicts,
+                max_learned_clauses=max_learned_clauses,
+                collect_cores=collect_cores,
+                minimize_cores=minimize_cores,
+            )
+            return outcome
+        finally:
+            # a reset inside the attempt swaps the solver out; the new
+            # instance starts with timing off and an empty table, so the
+            # read below degrades to {} rather than misattributing
+            phases = (
+                self.solver.phase_times()
+                if getattr(self.solver, "phase_times", None) is not None
+                else {}
+            )
+            for name, (secs, calls) in phases.items():
+                if tracer is not None:
+                    tracer.aggregate(name, secs, calls)
+                if metrics is not None:
+                    metrics.inc(f"phase.{name}_s", secs)
+                    metrics.inc(f"phase.{name}_n", calls)
+            set_pt = getattr(self.solver, "set_phase_timing", None)
+            if set_pt is not None:
+                set_pt(False)
+            if span is not None:
+                if outcome is not None:
+                    span.args["outcome"] = (
+                        "model"
+                        if outcome.model is not None
+                        else "refuted" if outcome.refuted else "exhausted"
+                    )
+                tracer.end(span)
+
+    def _try_vector(
+        self,
+        ctx: _ProblemContext,
+        sizes: dict[Sort, int],
+        stats: FinderStats,
+        *,
+        deadline: Optional[float] = None,
+        max_conflicts: Optional[int] = None,
+        max_learned_clauses: Optional[int] = None,
+        collect_cores: bool = True,
+        minimize_cores: bool = True,
+    ) -> _VectorOutcome:
         if ctx.released:
             raise FinderError(
                 "problem context was released from its engine"
@@ -1838,6 +1944,18 @@ class ModelFinder:
         base_glue = engine.total_glue
         start = time.monotonic()
         complete = True
+        # live-progress registration is one weakref assignment, cheap
+        # enough to do even with all collectors off
+        obs_runtime.watch_finder_stats(stats)
+        solver_stats = getattr(engine.solver, "stats", None)
+        if solver_stats is not None:
+            obs_runtime.watch_solver_stats(solver_stats)
+        sat_before = (
+            dataclasses.asdict(solver_stats)
+            if obs_runtime.METRICS is not None
+            and dataclasses.is_dataclass(solver_stats)
+            else None
+        )
 
         def finish(model: Optional[FiniteModel]) -> FinderResult:
             stats.elapsed = time.monotonic() - start
@@ -1848,6 +1966,22 @@ class ModelFinder:
             stats.hopeless = ctx.hopeless
             if model is not None:
                 stats.model_size = model.size()
+            metrics = obs_runtime.METRICS
+            if metrics is not None and sat_before is not None:
+                after_stats = getattr(engine.solver, "stats", None)
+                if dataclasses.is_dataclass(after_stats):
+                    after = dataclasses.asdict(after_stats)
+                    # deltas, clamped: an engine reset mid-sweep swaps
+                    # in a fresh counter object and must not go negative
+                    metrics.publish(
+                        "sat",
+                        {
+                            key: max(value - sat_before.get(key, 0), 0)
+                            for key, value in after.items()
+                            if isinstance(value, (int, float))
+                            and not isinstance(value, bool)
+                        },
+                    )
             return FinderResult(
                 model, stats, complete=model is not None or complete
             )

@@ -1,0 +1,50 @@
+"""Optional per-task cProfile capture (the CLI's ``--profile DIR``).
+
+Each profiled task dumps a binary pstats file named after its task id;
+inspect with the standard library::
+
+    python -m pstats profiles/suite_prob_ringen.prof
+    % sort cumtime
+    % stats 20
+
+Profiling is orthogonal to the tracer/metrics switchboard: it is
+driven purely by the caller handing a path in, so the no-profile path
+costs one ``None`` check.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import re
+from typing import Iterator, Optional
+
+
+def profile_path(directory: str, task_id: str) -> str:
+    """The pstats dump path for one task (id sanitized for filesystems)."""
+    safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", task_id).strip("_") or "task"
+    return os.path.join(directory, f"{safe}.prof")
+
+
+@contextlib.contextmanager
+def maybe_profile(path: Optional[str]) -> Iterator[None]:
+    """Profile the block into ``path`` (pstats format); no-op on None.
+
+    The dump happens even when the block raises — a crashing task's
+    profile is exactly the one worth reading.
+    """
+    if not path:
+        yield
+        return
+    import cProfile
+
+    prof = cProfile.Profile()
+    prof.enable()
+    try:
+        yield
+    finally:
+        prof.disable()
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        prof.dump_stats(path)

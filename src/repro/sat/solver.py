@@ -154,6 +154,11 @@ class CDCLSolver:
         # clause volumes must not overshoot the caller's budget)
         self._deadline: Optional[float] = None
         self._deadline_hit = False
+        # per-phase wall-clock accounting (observability layer): None
+        # means off, and every timed site guards on a cached local so
+        # the disabled cost is one load + branch per _propagate/_analyze
+        # *call*, never per literal; {"phase": [seconds, calls]} when on
+        self._phase_times: Optional[dict[str, list]] = None
         if num_vars:
             self.new_vars(num_vars)
 
@@ -593,6 +598,29 @@ class CDCLSolver:
         the core refutes for free, while dropping a clause-group
         selector would not change the stored bounds at all.
         """
+        if self._phase_times is None:
+            return self._minimize_core(
+                max_conflicts_per_probe=max_conflicts_per_probe,
+                deadline=deadline,
+                candidates=candidates,
+            )
+        t0 = time.monotonic()
+        try:
+            return self._minimize_core(
+                max_conflicts_per_probe=max_conflicts_per_probe,
+                deadline=deadline,
+                candidates=candidates,
+            )
+        finally:
+            self._phase_add("minimize", time.monotonic() - t0)
+
+    def _minimize_core(
+        self,
+        *,
+        max_conflicts_per_probe: int,
+        deadline: Optional[float],
+        candidates: Optional[Sequence[int]],
+    ) -> list[int]:
         core = self.core()
         probe_set = (
             None if candidates is None else {l for l in candidates}
@@ -624,6 +652,31 @@ class CDCLSolver:
         self._model_ready = False
         self._core = list(core)
         return list(core)
+
+    def set_phase_timing(self, enabled: bool) -> None:
+        """Switch per-phase wall-clock accounting on (resetting the
+        accumulators) or off.  Phases: ``propagate`` and ``analyze``
+        from the search loop, ``minimize`` around core minimization —
+        note a minimization probe's propagation/analysis time lands in
+        *both* its own phases and ``minimize`` (the phases overlap by
+        design; see :meth:`phase_times`)."""
+        self._phase_times = {} if enabled else None
+
+    def phase_times(self) -> dict[str, tuple[float, int]]:
+        """Accumulated ``{phase: (seconds, calls)}`` since timing was
+        enabled; empty when timing is off."""
+        return {
+            name: (cell[0], cell[1])
+            for name, cell in (self._phase_times or {}).items()
+        }
+
+    def _phase_add(self, name: str, dt: float) -> None:
+        cell = self._phase_times.get(name)  # type: ignore[union-attr]
+        if cell is None:
+            self._phase_times[name] = [dt, 1]  # type: ignore[index]
+        else:
+            cell[0] += dt
+            cell[1] += 1
 
     def clause_count(self) -> int:
         """Problem clauses currently in the database (learned excluded)."""
@@ -680,6 +733,9 @@ class CDCLSolver:
         deadline: Optional[float],
     ) -> Optional[bool]:
         call_conflicts_start = self.stats.conflicts
+        # cached once per solve call: the disabled-path cost of phase
+        # timing is this load plus a branch at each timed site
+        pt = self._phase_times
         if not self._ok:
             return False
         self._backtrack(0)
@@ -692,7 +748,12 @@ class CDCLSolver:
                 return False
             self._enqueue(lit, None)
         self._pending_units.clear()
-        conflict = self._propagate()
+        if pt is None:
+            conflict = self._propagate()
+        else:
+            _t0 = time.monotonic()
+            conflict = self._propagate()
+            self._phase_add("propagate", time.monotonic() - _t0)
         if conflict is not None:
             self._ok = False
             return False
@@ -709,7 +770,12 @@ class CDCLSolver:
             if self._value(lit) == UNASSIGNED:
                 self._trail_lim.append(len(self._trail))
                 self._enqueue(lit, None)
-                conflict = self._propagate()
+                if pt is None:
+                    conflict = self._propagate()
+                else:
+                    _t0 = time.monotonic()
+                    conflict = self._propagate()
+                    self._phase_add("propagate", time.monotonic() - _t0)
                 if conflict is not None:
                     # the early assumption-propagation conflict: analyze
                     # before backtracking wipes the levels
@@ -730,7 +796,12 @@ class CDCLSolver:
                 if time.monotonic() > deadline:
                     self._backtrack(0)
                     return None
-            conflict = self._propagate()
+            if pt is None:
+                conflict = self._propagate()
+            else:
+                _t0 = time.monotonic()
+                conflict = self._propagate()
+                self._phase_add("propagate", time.monotonic() - _t0)
             if conflict is None and self._deadline_hit:
                 # propagation aborted on the wall clock: the queue may be
                 # only partially drained, so give up rather than decide
@@ -757,7 +828,12 @@ class CDCLSolver:
                     # the final conflict — its analysis is the core
                     self._core = self._analyze_final(conflict)
                     return False
-                learned, back_level, lbd = self._analyze(conflict)
+                if pt is None:
+                    learned, back_level, lbd = self._analyze(conflict)
+                else:
+                    _t0 = time.monotonic()
+                    learned, back_level, lbd = self._analyze(conflict)
+                    self._phase_add("analyze", time.monotonic() - _t0)
                 self._backtrack(max(back_level, base_level))
                 if len(learned) == 1:
                     self._backtrack(base_level)
