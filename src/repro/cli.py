@@ -154,6 +154,15 @@ def build_parser() -> argparse.ArgumentParser:
         "adapter (ringen only; default: python)",
     )
     parser.add_argument(
+        "--sweep-shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="speculatively solve N candidate size vectors in parallel "
+        "engine shards; the verdict is identical to the sequential "
+        "sweep (ringen only; default: 1)",
+    )
+    parser.add_argument(
         "--warm-cache",
         metavar="DIR",
         help="disk cache of serialized engines: warm-start from DIR if "
@@ -233,6 +242,15 @@ def build_campaign_parser() -> argparse.ArgumentParser:
         default="python",
         help="SAT engine under every model finder in the campaign "
         "(default: python)",
+    )
+    parser.add_argument(
+        "--sweep-shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="speculatively solve N candidate size vectors in parallel "
+        "engine shards per problem; verdicts are identical to the "
+        "sequential sweep (default: 1)",
     )
     parser.add_argument(
         "--isolate",
@@ -406,6 +424,7 @@ def _campaign_plain(args) -> int:
                     core_guided_sweep=not args.no_cores,
                     lbd_retention=not args.no_lbd,
                     sat_backend=args.backend,
+                    sweep_shards=args.sweep_shards,
                 )
             )
             obs_runtime.task_started(path)
@@ -471,6 +490,7 @@ def _campaign_supervised(args) -> int:
         "core_guided_sweep": not args.no_cores,
         "lbd_retention": not args.no_lbd,
         "sat_backend": args.backend,
+        "sweep_shards": args.sweep_shards,
     }
     if args.warm_cache:
         solver_opts["engine_cache_dir"] = args.warm_cache
@@ -633,6 +653,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lbd_retention=not args.no_lbd,
         sat_backend=args.backend,
         engine_cache_dir=args.warm_cache,
+        sweep_shards=args.sweep_shards,
     )
     from repro.obs import runtime as obs_runtime
     from repro.obs.profiler import maybe_profile, profile_path

@@ -74,6 +74,15 @@ class RInGenConfig:
     solve builds a private pool over that cache, so repeated runs on
     the same signature start from the previous run's encodings, learned
     clauses and refutation bounds (the CLI's ``--warm-cache``).
+    ``sweep_shards`` > 1 runs the finite-model size sweep as a
+    speculative parallel portfolio (:mod:`repro.mace.parallel`):
+    candidate size vectors are dispatched to that many engine shards,
+    refutation cores are broadcast between them, and the lowest
+    satisfiable vector in sweep order wins — statuses, winning vector
+    and model size match the sequential sweep by construction.
+    Requires ``incremental``; with a pool attached, shards warm-start
+    from the pool's snapshot for the signature, but shard-side learning
+    does not flow back into the pool.
     """
 
     max_model_size: int = 12
@@ -95,6 +104,7 @@ class RInGenConfig:
     engine_pool: Optional[EnginePool] = None
     release_engines: bool = True
     engine_cache_dir: Optional[str] = None
+    sweep_shards: int = 1
 
 
 class RInGen:
@@ -178,14 +188,39 @@ class RInGen:
                 cache_dir=cfg.engine_cache_dir,
             )
             pool = ephemeral
-        pooled = (
+        pool_compatible = (
             pool is not None
             and cfg.incremental
             and cfg.symmetry_breaking == pool.symmetry_breaking
             and cfg.lbd_retention == pool.lbd_retention
             and cfg.sat_backend == pool.sat_backend
         )
-        if pooled:
+        use_parallel = cfg.sweep_shards > 1 and cfg.incremental
+        pooled = pool_compatible and not use_parallel
+        if use_parallel:
+            # speculative parallel portfolio: shards host private engine
+            # copies, so the sweep does not attach to a pooled engine —
+            # but a compatible pool (or warm cache) seeds every shard
+            # with its latest snapshot for this signature.  Shard-side
+            # learning is discarded at the end of the solve rather than
+            # folded back into the pool.
+            from repro.mace.parallel import ParallelModelFinder
+
+            seed = pool.snapshot_for(prepared) if pool_compatible else None
+            finder = ParallelModelFinder(
+                prepared,
+                sweep_shards=cfg.sweep_shards,
+                max_total_size=cfg.max_model_size,
+                symmetry_breaking=cfg.symmetry_breaking,
+                max_conflicts_per_size=cfg.max_conflicts_per_size,
+                max_learned_clauses=cfg.max_learned_clauses,
+                core_guided_sweep=cfg.core_guided_sweep,
+                lbd_retention=cfg.lbd_retention,
+                sat_backend=cfg.sat_backend,
+                core_minimization=cfg.core_minimization,
+                snapshot=seed,
+            )
+        elif pooled:
             finder = pool.finder(
                 prepared,
                 max_total_size=cfg.max_model_size,
@@ -242,7 +277,7 @@ class RInGen:
             finder_result = finder.search(
                 min_total_size=min_size, deadline=deadline
             )
-            _accumulate(finder_stats, finder_result.stats)
+            finder_stats.merge(finder_result.stats)
             if finder_result.model is None:
                 # an honest verdict: "no model ≤ N" may only be claimed
                 # when every size vector was actually refuted — a sweep
@@ -329,34 +364,6 @@ class RInGen:
         result.details["finder_attempts"] = finder_stats.attempts
         result.details["finder"] = finder_stats.as_dict()
         return result
-
-
-def _accumulate(total: FinderStats, part: FinderStats) -> None:
-    """Fold one search call's statistics into the per-solve totals."""
-    total.attempts += part.attempts
-    total.sat_vars = max(total.sat_vars, part.sat_vars)
-    total.sat_clauses = max(total.sat_clauses, part.sat_clauses)
-    total.elapsed += part.elapsed
-    total.model_size = part.model_size
-    total.clauses_encoded += part.clauses_encoded
-    total.clauses_reused += part.clauses_reused
-    total.learned_total += part.learned_total
-    total.learned_glue += part.learned_glue
-    total.learned_kept = part.learned_kept
-    total.solver_resets += part.solver_resets
-    total.vectors_refuted += part.vectors_refuted
-    total.vectors_exhausted += part.vectors_exhausted
-    total.vectors_skipped += part.vectors_skipped
-    total.cores_extracted += part.cores_extracted
-    total.cores_minimized += part.cores_minimized
-    total.core_lits_dropped += part.core_lits_dropped
-    total.sat_backend = part.sat_backend
-    total.hopeless = total.hopeless or part.hopeless
-    total.deadline_hit = total.deadline_hit or part.deadline_hit
-    total.engine_shared = total.engine_shared or part.engine_shared
-    total.cross_problem_clauses = max(
-        total.cross_problem_clauses, part.cross_problem_clauses
-    )
 
 
 def solve(

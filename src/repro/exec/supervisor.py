@@ -517,6 +517,43 @@ def _execute_inprocess(
 _EOF = object()
 
 
+class _SnapshotStore:
+    """Freshest engine snapshot per signature group, ordered by stamp.
+
+    Workers stamp every snapshot they ship with a monotonic per-worker
+    sequence seeded from the stamp of the snapshot they warm-started
+    from, so when several workers share one fingerprint concurrently
+    the store keeps the snapshot that has advanced furthest — not
+    merely the one whose message happened to arrive last (the old
+    last-write-wins bug: a straggling verdict from a slow cold worker
+    could clobber a far fresher snapshot already collected from a
+    faster one).  Equal stamps — independent workers racing from the
+    same seed — keep the most recent arrival, matching the old
+    behaviour where ordering genuinely is a coin toss.
+    """
+
+    def __init__(self) -> None:
+        self._slots: dict[object, tuple[int, dict]] = {}
+
+    def offer(self, group_key: object, seq: int, snap: dict) -> bool:
+        """Store ``snap`` unless a strictly fresher one is held."""
+        held = self._slots.get(group_key)
+        if held is not None and held[0] > seq:
+            return False
+        self._slots[group_key] = (seq, snap)
+        return True
+
+    def get(self, group_key: object) -> Optional[dict]:
+        held = self._slots.get(group_key)
+        return held[1] if held is not None else None
+
+    def seq(self, group_key: object) -> int:
+        """Stamp of the held snapshot (0 when none): the seed for the
+        next worker's own sequence."""
+        held = self._slots.get(group_key)
+        return held[0] if held is not None else 0
+
+
 def _execute_isolated(
     pending: Sequence[TaskSpec],
     policy: ExecPolicy,
@@ -528,11 +565,12 @@ def _execute_isolated(
 ) -> None:
     attempts = {t.task_id: 1 for t in pending}
     queue: deque[list[TaskSpec]] = deque(_batches(pending, policy))
-    # latest engine snapshot per signature group_key: workers return
+    # freshest engine snapshot per signature group_key: workers return
     # their engine state alongside verdicts, and the next worker for
     # the same group — a rescheduled remainder after a mid-batch death,
-    # a retried survivor — starts from it instead of cold
-    snapshots: dict[object, dict] = {}
+    # a retried survivor — starts from it instead of cold.  Newest wins
+    # by the workers' monotonic sequence stamps, not arrival order.
+    snapshots = _SnapshotStore()
     while queue:
         batch = queue.popleft()
         for task in batch:
@@ -657,7 +695,7 @@ def _run_worker_batch(
     attempts: dict[str, int],
     stats: ExecStats,
     finish: Callable[[TaskSpec, dict], None],
-    snapshots: Optional[dict] = None,
+    snapshots: Optional[_SnapshotStore] = None,
     bus: Optional[EventBus] = None,
 ) -> tuple[list[TaskSpec], list[TaskSpec]]:
     """Run one batch in one worker; classify every way it can end.
@@ -708,6 +746,13 @@ def _run_worker_batch(
         "fault_plan": plan.encode() if plan else None,
         "solver_opts": policy.solver_opts,
         "engine_snapshot": warm,
+        # seed for the worker's own snapshot stamps: its snapshots must
+        # outrank the one it warm-started from (see _SnapshotStore)
+        "engine_snapshot_seq": (
+            snapshots.seq(group_key)
+            if snapshots is not None and group_key is not None
+            else 0
+        ),
         # workers mirror the supervisor's collector configuration with
         # their own in-memory instances; spans/metrics ship back over
         # the pipe and merge here
@@ -724,8 +769,9 @@ def _run_worker_batch(
     def collect(record: dict) -> None:
         """Pull supervisor-side freight out of a verdict record."""
         snap = record.pop("engine_snapshot", None)
+        snap_seq = record.pop("engine_snapshot_seq", 0)
         if snap is not None and snapshots is not None and group_key is not None:
-            snapshots[group_key] = snap
+            snapshots.offer(group_key, int(snap_seq or 0), snap)
             stats.snapshots_collected += 1
         spans = record.pop("obs_spans", None)
         if spans and obs_runtime.TRACER is not None:

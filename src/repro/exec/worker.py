@@ -23,6 +23,7 @@ import signal
 import threading
 import time
 import traceback
+from collections import deque
 from typing import Any, Optional
 
 from repro.exec.faults import ReproFaultPlan
@@ -244,6 +245,12 @@ def worker_entry(conn, payload: dict) -> None:
         beater.start()
     plan = ReproFaultPlan.parse(payload.get("fault_plan"))
     solver_opts = payload.get("solver_opts") or None
+    # per-worker monotonic snapshot sequence, seeded from the stamp of
+    # the snapshot this worker warm-started from: every snapshot this
+    # worker ships outranks its seed, so the supervisor's newest-wins
+    # store orders concurrent workers sharing one fingerprint by
+    # progress instead of by message arrival
+    snap_seq = int(payload.get("engine_snapshot_seq") or 0)
     pool = None
     if payload.get("share_engines"):
         from repro.mace.pool import EnginePool
@@ -318,7 +325,9 @@ def worker_entry(conn, payload: dict) -> None:
                 # of the batch remainder if this process dies next
                 snap = pool.last_snapshot()
                 if snap is not None:
+                    snap_seq += 1
                     record["engine_snapshot"] = snap
+                    record["engine_snapshot_seq"] = snap_seq
             with send_lock:
                 conn.send(record)
         done: dict = {DONE: True}
@@ -338,4 +347,96 @@ def worker_entry(conn, payload: dict) -> None:
             conn.send(done)
     finally:
         stop_heartbeat.set()
+        conn.close()
+
+
+def shard_entry(conn, payload: dict) -> None:
+    """Subprocess main of one parallel-sweep engine shard.
+
+    The vector-granularity sibling of :func:`worker_entry`, serving the
+    :class:`repro.mace.parallel.SweepScheduler`.  Down the pipe come
+    ``{"kind": "vector", "seq", "sizes", "attempt", "deadline"}``
+    dispatches, ``{"kind": "core", "bounds"}`` broadcasts from sibling
+    shards, and ``{"kind": "stop"}``; every vector is answered with a
+    result dict (verdict, fresh core bounds, cumulative
+    ``FinderStats``, drained obs spans) and ``stop`` with a done
+    message carrying the shard's metrics snapshot.  An exception dies
+    *without* a done message so the scheduler's EOF path respawns the
+    shard — the vector-level analogue of a result-less worker death.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    obs_runtime.forget()
+    obs_cfg = payload.get("obs") or {}
+    obs_runtime.configure(
+        trace=bool(obs_cfg.get("trace")),
+        metrics=bool(obs_cfg.get("metrics")),
+    )
+    from repro.mace.parallel import _ShardRunner
+
+    tracer = obs_runtime.TRACER
+    span = (
+        tracer.begin("shard", {"shard": payload.get("shard")})
+        if tracer is not None
+        else None
+    )
+    crashed = False
+    try:
+        runner = _ShardRunner(payload)
+        obs_runtime.watch_finder_stats(runner.stats)
+        # Vectors buffer locally so core broadcasts arriving *behind*
+        # queued dispatches are adopted before those vectors start —
+        # processing the pipe strictly in order would let a shard grind
+        # through its whole queue while a sibling's refutation core that
+        # prunes it sits unread one message later.
+        pending: deque = deque()
+        stopped = False
+        while not stopped or pending:
+            while not stopped and (not pending or conn.poll(0)):
+                msg = conn.recv()
+                kind = msg.get("kind")
+                if kind == "vector":
+                    pending.append(msg)
+                elif kind == "core":
+                    runner.adopt_bounds(msg.get("bounds") or ())
+                elif kind == "stop":
+                    # outstanding speculation is cancelled, not drained
+                    pending.clear()
+                    stopped = True
+            if pending:
+                msg = pending.popleft()
+                result = runner.solve_vector(
+                    msg["seq"],
+                    tuple(msg["sizes"]),
+                    msg.get("attempt", 1),
+                    msg.get("deadline"),
+                )
+                if tracer is not None:
+                    # close the current shard-span segment so this
+                    # result ships a parent for its vector span — a
+                    # single whole-life shard span would leave every
+                    # already-shipped vector dangling when a SAT
+                    # commit kills the shard before its done message
+                    tracer.end(span)
+                    result["obs_spans"] = tracer.drain()
+                    span = tracer.begin(
+                        "shard", {"shard": payload.get("shard")}
+                    )
+                conn.send(result)
+    except EOFError:
+        pass  # scheduler went away (speculation cancelled): just exit
+    except Exception:
+        crashed = True  # die result-less; the scheduler respawns us
+    finally:
+        if not crashed:
+            done: dict = {"kind": "done"}
+            if span is not None:
+                tracer.end(span)
+                done["obs_spans"] = tracer.drain()
+            if obs_runtime.METRICS is not None:
+                done["obs_metrics"] = obs_runtime.METRICS.snapshot()
+            try:
+                conn.send(done)
+            except (OSError, ValueError):
+                pass
         conn.close()

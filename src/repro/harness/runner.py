@@ -48,13 +48,15 @@ def make_solver(
     engine_pool: Optional[EnginePool] = None,
     sat_backend: str = "python",
     engine_cache_dir: Optional[str] = None,
+    sweep_shards: int = 1,
 ):
     """Instantiate a solver under its Table 1 alias.
 
     ``engine_pool`` (campaign batch mode), ``sat_backend`` (the SAT
-    engine under the model finder) and ``engine_cache_dir`` (the disk
-    warm cache of serialized engines) only concern RInGen — the
-    baselines have no incremental engine to share and ignore them.
+    engine under the model finder), ``engine_cache_dir`` (the disk
+    warm cache of serialized engines) and ``sweep_shards`` (speculative
+    parallel size sweeps) only concern RInGen — the baselines have no
+    incremental engine to share and ignore them.
     """
     if name == "ringen":
         return RInGen(
@@ -63,6 +65,7 @@ def make_solver(
                 engine_pool=engine_pool,
                 sat_backend=sat_backend,
                 engine_cache_dir=engine_cache_dir,
+                sweep_shards=sweep_shards,
             )
         )
     if name == "eldarica":

@@ -341,10 +341,69 @@ class FinderStats:
     # engine when this finder attached (cross-problem reuse)
     engine_shared: bool = False
     cross_problem_clauses: int = 0
+    # speculative parallel sweeps (repro.mace.parallel):
+    # ``vectors_speculated`` counts vectors dispatched to a shard while
+    # another vector was still outstanding, ``cores_broadcast`` the
+    # refutation cores relayed to at least one sibling shard,
+    # ``speculative_pruned`` the already-dispatched vectors a sibling's
+    # broadcast core pruned shard-side without a solver call, and
+    # ``shard_restarts`` the shards respawned after dying
+    # mid-speculation.  ``sweep_shards`` is the portfolio width (1 for
+    # the sequential sweep).
+    vectors_speculated: int = 0
+    cores_broadcast: int = 0
+    speculative_pruned: int = 0
+    shard_restarts: int = 0
+    sweep_shards: int = 1
 
     def as_dict(self) -> dict:
         """Plain-dict view for result details / JSON artifacts."""
         return dataclasses.asdict(self)
+
+    def merge(self, part: "FinderStats") -> None:
+        """Fold another search's statistics into this one.
+
+        The single merge rule shared by the per-solve accumulator in
+        :mod:`repro.core.ringen` (sequential searches resumed after a
+        failed Herbrand check) and the parallel sweep scheduler folding
+        per-shard statistics: additive counters add, high-water marks
+        (``sat_vars``, ``sat_clauses``, ``learned_kept``,
+        ``cross_problem_clauses``, ``sweep_shards``) take the max,
+        sticky flags or together, ``model_size`` keeps the most recent
+        part that actually found a model, and latest-state fields
+        (``sat_backend``) follow ``part``.  ``incremental`` is a
+        configuration echo and is left untouched.
+        """
+        self.attempts += part.attempts
+        self.sat_vars = max(self.sat_vars, part.sat_vars)
+        self.sat_clauses = max(self.sat_clauses, part.sat_clauses)
+        self.elapsed += part.elapsed
+        if part.model_size is not None:
+            self.model_size = part.model_size
+        self.clauses_encoded += part.clauses_encoded
+        self.clauses_reused += part.clauses_reused
+        self.learned_total += part.learned_total
+        self.learned_kept = max(self.learned_kept, part.learned_kept)
+        self.learned_glue += part.learned_glue
+        self.solver_resets += part.solver_resets
+        self.vectors_refuted += part.vectors_refuted
+        self.vectors_exhausted += part.vectors_exhausted
+        self.vectors_skipped += part.vectors_skipped
+        self.cores_extracted += part.cores_extracted
+        self.cores_minimized += part.cores_minimized
+        self.core_lits_dropped += part.core_lits_dropped
+        self.hopeless = self.hopeless or part.hopeless
+        self.sat_backend = part.sat_backend
+        self.deadline_hit = self.deadline_hit or part.deadline_hit
+        self.engine_shared = self.engine_shared or part.engine_shared
+        self.cross_problem_clauses = max(
+            self.cross_problem_clauses, part.cross_problem_clauses
+        )
+        self.vectors_speculated += part.vectors_speculated
+        self.cores_broadcast += part.cores_broadcast
+        self.speculative_pruned += part.speculative_pruned
+        self.shard_restarts += part.shard_restarts
+        self.sweep_shards = max(self.sweep_shards, part.sweep_shards)
 
 
 @dataclass

@@ -332,6 +332,42 @@ class EnginePool:
             self.stats.snapshot_rejected += 1
             return None
 
+    def snapshot_for(self, system: CHCSystem) -> Optional[dict]:
+        """Serialized engine state for ``system``'s signature, if any.
+
+        The per-shard fan-out path of the parallel sweep
+        (:mod:`repro.mace.parallel`): every shard of a speculative
+        portfolio warm-starts from one snapshot of the signature's
+        pooled engine.  A live slot is snapshotted fresh; otherwise the
+        disk warm cache is consulted and its raw (already validated by
+        the shard on restore) snapshot returned.  Never raises —
+        ``None`` means the shards start cold.
+        """
+        key = (self.sat_backend, signature_fingerprint(system))
+        slot = self._engines.get(key)
+        if slot is not None:
+            try:
+                return slot.engine.snapshot()
+            except Exception:
+                self.stats.snapshot_rejected += 1
+                return None
+        path = self._cache_path(key)
+        if path is None:
+            return None
+        try:
+            wrapper = pickle.loads(path.read_bytes())
+            if (
+                not isinstance(wrapper, dict)
+                or wrapper.get("schema") != _CACHE_SCHEMA
+                or wrapper.get("version") != ENGINE_SNAPSHOT_VERSION
+                or wrapper.get("key") != key
+            ):
+                raise EngineSnapshotError("bad cache wrapper")
+            snap = wrapper["engine"]
+        except Exception:
+            return None
+        return snap if isinstance(snap, dict) else None
+
     # -- engine lookup -----------------------------------------------------
     def _evict_over_limit(self) -> None:
         while (

@@ -118,7 +118,12 @@ class CDCLSolver:
         self._reason: list[Optional[list[int]]] = [None]
         self._phase: list[bool] = [False]
         self._activity: list[float] = [0.0]
-        self._watches: dict[int, list[list[int]]] = {}
+        # watcher lists in one flat array indexed by literal code
+        # (2*var for the positive literal, 2*var+1 for the negative):
+        # the propagation loop replaces a dict hash per watched literal
+        # with two adds and a list index.  Codes 0 and 1 are padding
+        # for the nonexistent variable 0.
+        self._watches: list[list[list[int]]] = [[], []]
         # VSIDS order heap: binary max-heap on activity with a position
         # index, so decisions cost O(log n) instead of a linear scan
         self._heap: list[int] = []
@@ -172,8 +177,8 @@ class CDCLSolver:
         self._activity.append(0.0)
         self._heap_pos.append(-1)
         self._heap_insert(self.num_vars)
-        self._watches[self.num_vars] = []
-        self._watches[-self.num_vars] = []
+        self._watches.append([])  # code 2v: the positive literal
+        self._watches.append([])  # code 2v+1: the negative literal
         return self.num_vars
 
     # -- VSIDS order heap --------------------------------------------------
@@ -293,8 +298,9 @@ class CDCLSolver:
         return True
 
     def _watch(self, clause: list[int]) -> None:
-        self._watches[clause[0]].append(clause)
-        self._watches[clause[1]].append(clause)
+        a, b = clause[0], clause[1]
+        self._watches[a + a if a > 0 else 1 - a - a].append(clause)
+        self._watches[b + b if b > 0 else 1 - b - b].append(clause)
 
     # -- assignment helpers ------------------------------------------------
     def _value(self, lit: int) -> int:
@@ -346,7 +352,10 @@ class CDCLSolver:
             self._queue_head += 1
             self.stats.propagations += 1
             falsified = -lit
-            watchers = watches[falsified]
+            # code of the falsified literal: 2*(-lit) when lit < 0,
+            # 2*lit+1 when lit > 0 — pure integer arithmetic, no abs()
+            fcode = lit + lit + 1 if lit > 0 else -(lit + lit)
+            watchers = watches[fcode]
             new_watchers: list[list[int]] = []
             conflict: Optional[list[int]] = None
             for idx, clause in enumerate(watchers):
@@ -367,7 +376,9 @@ class CDCLSolver:
                     oval = assign[other] if other > 0 else -assign[-other]
                     if oval != FALSE_VAL:
                         clause[1], clause[k] = other, clause[1]
-                        watches[other].append(clause)
+                        watches[
+                            other + other if other > 0 else 1 - other - other
+                        ].append(clause)
                         moved = True
                         break
                 if moved:
@@ -382,7 +393,7 @@ class CDCLSolver:
                     self._reason[var] = clause
                     self._phase[var] = first > 0
                     trail.append(first)
-            watches[falsified] = new_watchers
+            watches[fcode] = new_watchers
             if conflict is not None:
                 return conflict
         return None
@@ -432,45 +443,54 @@ class CDCLSolver:
                     # through with their levels assigned)
                     old_lbd = lbd_tbl.get(rid)
                     if old_lbd is not None and old_lbd > self.GLUE_LBD:
-                        new_lbd = len({level[abs(q)] for q in reason})
+                        new_lbd = len(
+                            {
+                                level[q] if q > 0 else level[-q]
+                                for q in reason
+                            }
+                        )
                         if new_lbd < old_lbd:
                             lbd_tbl[rid] = new_lbd
                             self.stats.lbd_updates += 1
             for q in reason:
                 if trail_lit is not None and q == trail_lit:
                     continue  # skip the literal this reason clause asserted
-                var = abs(q)
-                if not seen[var] and self._level[var] > 0:
+                var = q if q > 0 else -q
+                if not seen[var] and level[var] > 0:
                     seen[var] = True
                     self._bump(var)
-                    if self._level[var] >= current_level:
+                    if level[var] >= current_level:
                         counter += 1
                     else:
                         learned.append(q)
             while True:
                 index -= 1
                 trail_lit = self._trail[index]
-                if seen[abs(trail_lit)]:
+                tvar = trail_lit if trail_lit > 0 else -trail_lit
+                if seen[tvar]:
                     break
-            seen[abs(trail_lit)] = False
+            seen[tvar] = False
             counter -= 1
             if counter == 0:
                 break
-            reason = self._reason[abs(trail_lit)]
+            reason = self._reason[tvar]
         learned[0] = -trail_lit
-        # compute backjump level: max level among learned[1:]
+        # backjump level: max level among learned[1:]; the first literal
+        # attaining it moves to slot 1 for watching (one pass does both)
         if len(learned) == 1:
             back_level = 0
         else:
-            back_level = max(self._level[abs(q)] for q in learned[1:])
-        # move a literal of back_level to slot 1 for watching
-        if len(learned) > 1:
-            best = max(
-                range(1, len(learned)),
-                key=lambda i: self._level[abs(learned[i])],
-            )
+            best = 1
+            q = learned[1]
+            back_level = level[q] if q > 0 else level[-q]
+            for i in range(2, len(learned)):
+                q = learned[i]
+                q_level = level[q] if q > 0 else level[-q]
+                if q_level > back_level:
+                    best = i
+                    back_level = q_level
             learned[1], learned[best] = learned[best], learned[1]
-        lbd = len({self._level[abs(q)] for q in learned})
+        lbd = len({level[q] if q > 0 else level[-q] for q in learned})
         return learned, back_level, lbd
 
     def _bump(self, var: int) -> None:
@@ -922,9 +942,11 @@ class CDCLSolver:
         dropped = set(map(id, drop))
         self.learned_clauses = kept
         self._forget_metadata(dropped)
-        for lit, watchers in self._watches.items():
+        watches = self._watches
+        for code in range(2, len(watches)):
+            watchers = watches[code]
             if watchers:
-                self._watches[lit] = [
+                watches[code] = [
                     c for c in watchers if id(c) not in dropped
                 ]
         # level-0 reasons are never analyzed; clear stale references so
@@ -988,9 +1010,11 @@ class CDCLSolver:
         if not dropped:
             return 0
         self._forget_metadata(dropped)
-        for lit, watchers in self._watches.items():
+        watches = self._watches
+        for code in range(2, len(watches)):
+            watchers = watches[code]
             if watchers:
-                self._watches[lit] = [
+                watches[code] = [
                     c for c in watchers if id(c) not in dropped
                 ]
         # level-0 reasons are never analyzed; clear stale references so

@@ -478,6 +478,44 @@ class TestWarmWorkers:
         for entry in entries.values():
             assert "engine_snapshot" not in entry
 
+    def test_snapshot_store_keeps_freshest_not_last_arrival(self):
+        # Regression: two workers share a fingerprint; the slow cold
+        # one's snapshot (stamp 1) arrives *after* the fast warm one's
+        # (stamp 3).  The old last-write-wins store would clobber the
+        # fresher snapshot with the stale one.
+        from repro.exec.supervisor import _SnapshotStore
+
+        store = _SnapshotStore()
+        assert store.seq("g") == 0
+        assert store.offer("g", 3, {"who": "fast"})
+        assert not store.offer("g", 1, {"who": "slow-straggler"})
+        assert store.get("g") == {"who": "fast"}
+        assert store.seq("g") == 3
+        # equal stamps (independent workers racing from the same seed):
+        # most recent arrival wins, like the pre-fix coin toss
+        assert store.offer("g", 3, {"who": "peer"})
+        assert store.get("g") == {"who": "peer"}
+        # groups are independent
+        assert store.offer("h", 1, {"who": "other-group"})
+        assert store.get("g") == {"who": "peer"}
+
+    def test_racing_workers_keep_snapshot_stamps_monotonic(self):
+        # Two same-signature batches raced through workers: the stamp
+        # seeded into each new worker equals the freshest collected so
+        # far, so a respawned worker's snapshots always outrank the
+        # snapshots it warm-started from.
+        plan = ReproFaultPlan.parse("flaky@5x1")
+        faulted = run_campaign(
+            [fault10_suite()], solvers=["ringen"], timeout=5.0,
+            share_engines=True,
+            policy=ExecPolicy(
+                isolate=True, fault_plan=plan, backoff_base=0.01
+            ),
+        )
+        assert faulted.exec_stats["workers_warm_started"] >= 1
+        # every verdict is still correct after the race
+        assert all(r.correct for r in faulted.records)
+
 
 class TestJournalConfigGuard:
     """Resume must refuse journals from an incompatible configuration."""
